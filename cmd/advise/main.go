@@ -1,0 +1,56 @@
+// Command advise applies the paper's decision guidance (§3.3, §6) to a
+// deployment description and recommends a time-implementation option.
+//
+// Usage:
+//
+//	advise -n 5 -gap 2m -delta 2s                      # habitat: no sync service
+//	advise -n 8 -gap 1s -delta 50ms -sync -affordable -eps 100us
+//	advise -n 64 -gap 1m -delta 100ms -budget 64       # tight radio budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"pervasive/internal/advisor"
+	"pervasive/internal/sim"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 4, "number of sensor processes")
+		gap        = flag.Duration("gap", time.Second, "mean gap between sensed events")
+		delta      = flag.Duration("delta", 100*time.Millisecond, "message delay bound Δ")
+		syncAvail  = flag.Bool("sync", false, "a physical clock-sync service is available")
+		affordable = flag.Bool("affordable", false, "…and its energy cost is acceptable")
+		eps        = flag.Duration("eps", time.Millisecond, "the sync service's skew bound ε")
+		overlap    = flag.Duration("overlap", 0, "shortest predicate-true overlap that must be caught (0 = don't care)")
+		cross      = flag.Bool("crossdomain", false, "participants span administrative domains")
+		races      = flag.Bool("flagraces", false, "race-affected detections must be identified (borderline bin)")
+		budget     = flag.Int("budget", 0, "per-event control-traffic budget in bytes (0 = unlimited)")
+	)
+	flag.Parse()
+
+	a := advisor.Advise(advisor.Deployment{
+		N:             *n,
+		MeanEventGap:  dur(*gap),
+		Delta:         dur(*delta),
+		SyncAvailable: *syncAvail, SyncAffordable: *affordable,
+		SyncEpsilon: dur(*eps), MinOverlap: dur(*overlap),
+		CrossDomain: *cross, NeedRaceFlagging: *races,
+		BytesBudget: *budget,
+	})
+
+	fmt.Println(a.Summary)
+	fmt.Println()
+	for i, o := range a.Options {
+		fmt.Printf("%d. %-14v score %.2f\n", i+1, o.Kind, o.Score)
+		fmt.Printf("   error mode: %s\n", o.ErrorMode)
+		for _, r := range o.Rationale {
+			fmt.Printf("   - %s\n", r)
+		}
+	}
+}
+
+func dur(d time.Duration) sim.Duration { return sim.Duration(d / time.Microsecond) }

@@ -1,0 +1,56 @@
+// Command experiments regenerates the reproduction tables E1–E12 (see
+// DESIGN.md for the mapping from paper claims to experiments and
+// EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	experiments [-run E1,E5] [-quick] [-seed N] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pervasive/internal/experiments"
+)
+
+func main() {
+	runIDs := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	quick := flag.Bool("quick", false, "shrink sweeps and seed counts for a fast pass")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	ablations := flag.Bool("ablations", false,
+		"include the A1–A6 design-choice ablations when running 'all'")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.AllWithAblations() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if strings.EqualFold(*runIDs, "all") {
+		selected = experiments.All
+		if *ablations {
+			selected = experiments.AllWithAblations()
+		}
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		e.Run(cfg).Render(os.Stdout)
+	}
+}

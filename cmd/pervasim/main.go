@@ -1,0 +1,173 @@
+// Command pervasim runs one of the paper's application scenarios on the
+// deterministic simulator and prints a detection report.
+//
+// Usage:
+//
+//	pervasim -scenario hall -doors 4 -delta 100ms -kind vector
+//	pervasim -scenario office -modality definitely
+//	pervasim -scenario habitat -horizon 1h
+//	pervasim -scenario hospital -alarm ward
+//	pervasim -scenario hall -trace run.json   # write a JSON event trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pervasive/internal/core"
+	"pervasive/internal/predicate"
+	"pervasive/internal/scenario"
+	"pervasive/internal/sim"
+	"pervasive/internal/trace"
+)
+
+func main() {
+	var (
+		scen     = flag.String("scenario", "hall", "hall | office | hospital | habitat | proximity")
+		kindName = flag.String("kind", "vector", "vector | scalar | physical | diff")
+		delta    = flag.Duration("delta", 100*time.Millisecond, "message delay bound Δ")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		horizon  = flag.Duration("horizon", 2*time.Minute, "simulated duration")
+		doors    = flag.Int("doors", 4, "hall: number of doors")
+		capacity = flag.Int("capacity", 200, "hall: room capacity")
+		initial  = flag.Int("initial", 195, "hall: initial occupancy")
+		modality = flag.String("modality", "instantaneously",
+			"office: instantaneously | possibly | definitely")
+		alarm     = flag.String("alarm", "crowding", "hospital: crowding | ward")
+		epsilon   = flag.Duration("epsilon", time.Millisecond, "physical: sync skew bound ε")
+		tracePath = flag.String("trace", "", "hall: write JSON event trace to this file")
+	)
+	flag.Parse()
+
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := parseModality(*modality)
+	if err != nil {
+		fatal(err)
+	}
+	delay := sim.NewDeltaBounded(dur(*delta))
+	hz := dur(*horizon)
+
+	var (
+		res   core.Results
+		extra string
+		tr    *trace.Trace
+	)
+	switch *scen {
+	case "hall":
+		cfg := scenario.HallConfig{
+			Seed: *seed, Doors: *doors, Capacity: *capacity,
+			InitialOccupancy: *initial, Kind: kind, Delay: delay,
+			Epsilon: dur(*epsilon), Horizon: hz,
+		}
+		if *tracePath != "" {
+			tr = trace.New(*doors)
+			cfg.Trace = tr
+		}
+		hl := scenario.NewHall(cfg)
+		res = hl.Run()
+		extra = fmt.Sprintf("predicate: %s", scenario.OccupancyPredicate(*capacity))
+	case "office":
+		of := scenario.NewOffice(scenario.OfficeConfig{
+			Seed: *seed, Rooms: 1, Modality: mod, Delay: delay,
+			Horizon: hz, Actuate: true,
+		})
+		res = of.Run()
+		extra = fmt.Sprintf("modality: %v, thermostat actuations: %d", mod, of.Actuations)
+	case "hospital":
+		hp := scenario.NewHospital(scenario.HospitalConfig{
+			Seed: *seed, Alarm: *alarm, Kind: kind, Delay: delay, Horizon: hz,
+		})
+		res = hp.Run()
+		extra = fmt.Sprintf("alarm: %s, raised: %d", *alarm, hp.Alarms)
+	case "habitat":
+		hb := scenario.NewHabitat(scenario.HabitatConfig{
+			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz,
+		})
+		res = hb.Run()
+		extra = "predicate: herd congregation (≥2 waterholes occupied)"
+	case "proximity":
+		px := scenario.NewProximity(scenario.ProximityConfig{
+			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz,
+		})
+		res = px.Run()
+		extra = fmt.Sprintf("predicate: visitor within %gm of patient; alarms: %d",
+			px.Cfg.Radius, px.Alarms)
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scen))
+	}
+
+	fmt.Printf("scenario: %s  clocks: %v  Δ: %v  seed: %d  horizon: %v\n",
+		*scen, kind, *delta, *seed, *horizon)
+	if extra != "" {
+		fmt.Println(extra)
+	}
+	fmt.Printf("true occurrences:     %d\n", len(res.Truth))
+	fmt.Printf("detected occurrences: %d (%d borderline)\n",
+		len(res.Occurrences), countBorderline(res.Occurrences))
+	fmt.Printf("confusion:            %v\n", res.Confusion)
+	fmt.Printf("recall %.3f  precision %.3f  accuracy %.3f  borderline-coverage %.3f\n",
+		res.Confusion.Recall(), res.Confusion.Precision(),
+		res.Confusion.Accuracy(), res.Confusion.BorderlineCoverage())
+	fmt.Printf("network: %d msgs sent, %d delivered, %d dropped, %d bytes\n",
+		res.Net.Sent, res.Net.Delivered, res.Net.Dropped, res.Net.Bytes)
+
+	if tr != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tr.EncodeJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d records written to %s\n", tr.Len(), *tracePath)
+	}
+}
+
+func parseKind(s string) (core.ClockKind, error) {
+	switch s {
+	case "vector":
+		return core.VectorStrobe, nil
+	case "scalar":
+		return core.ScalarStrobe, nil
+	case "physical":
+		return core.PhysicalReport, nil
+	case "diff":
+		return core.DiffVectorStrobe, nil
+	}
+	return 0, fmt.Errorf("unknown clock kind %q", s)
+}
+
+func parseModality(s string) (predicate.Modality, error) {
+	switch s {
+	case "instantaneously":
+		return predicate.Instantaneously, nil
+	case "possibly":
+		return predicate.Possibly, nil
+	case "definitely":
+		return predicate.Definitely, nil
+	}
+	return 0, fmt.Errorf("unknown modality %q", s)
+}
+
+func dur(d time.Duration) sim.Duration { return sim.Duration(d / time.Microsecond) }
+
+func countBorderline(occ []core.Occurrence) int {
+	n := 0
+	for _, o := range occ {
+		if o.Borderline {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pervasim:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,150 @@
+// Command tracedump inspects a JSON execution trace written by pervasim
+// (or any tool using internal/trace): event counts by type and process,
+// and — when vector stamps are present — consistent-cut lattice
+// statistics per the slim lattice postulate.
+//
+// Usage:
+//
+//	tracedump run.json
+//	pervasim -scenario hall -trace /dev/stdout | tracedump /dev/stdin
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pervasive/internal/clock"
+	"pervasive/internal/lattice"
+	"pervasive/internal/sim"
+	"pervasive/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracedump <trace.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.DecodeJSON(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("processes: %d, records: %d\n", tr.N, tr.Len())
+	counts := tr.Counts()
+	for _, ty := range []trace.Type{trace.Compute, trace.Sense, trace.Actuate, trace.Send, trace.Receive} {
+		if counts[ty] > 0 {
+			fmt.Printf("  %-8s %d\n", name(ty), counts[ty])
+		}
+	}
+	for i := 0; i < tr.N; i++ {
+		recs := tr.ByProcess(i)
+		var senses int
+		for _, r := range recs {
+			if r.Type == trace.Sense {
+				senses++
+			}
+		}
+		fmt.Printf("  P%-3d: %5d events (%d sense)\n", i, len(recs), senses)
+	}
+
+	ex := stampedExecution(tr)
+	if ex == nil {
+		fmt.Println("no vector stamps recorded; skipping lattice analysis")
+		return
+	}
+	const maxEvents = 24 // keep enumeration tractable
+	if ex.Events() > maxEvents {
+		trimmed := trimTo(ex, maxEvents)
+		fmt.Printf("lattice (first %d events): ", trimmed.Events())
+		report(trimmed)
+	} else {
+		fmt.Printf("lattice (%d events): ", ex.Events())
+		report(ex)
+	}
+}
+
+func name(t trace.Type) string {
+	switch t {
+	case trace.Compute:
+		return "compute"
+	case trace.Sense:
+		return "sense"
+	case trace.Actuate:
+		return "actuate"
+	case trace.Send:
+		return "send"
+	default:
+		return "receive"
+	}
+}
+
+// stampedExecution extracts sense events carrying vector stamps.
+func stampedExecution(tr *trace.Trace) *lattice.Execution {
+	ex := &lattice.Execution{
+		Stamps: make([][]clock.Vector, tr.N),
+		Times:  make([][]sim.Time, tr.N),
+	}
+	found := false
+	for _, r := range tr.Records {
+		if r.Type == trace.Sense && r.Vector != nil {
+			ex.Stamps[r.Proc] = append(ex.Stamps[r.Proc], r.Vector)
+			ex.Times[r.Proc] = append(ex.Times[r.Proc], r.At)
+			found = true
+		}
+	}
+	if !found {
+		return nil
+	}
+	return ex
+}
+
+// trimTo keeps roughly budget events, evenly across processes, clamping
+// dangling stamp references.
+func trimTo(ex *lattice.Execution, budget int) *lattice.Execution {
+	per := budget / len(ex.Stamps)
+	if per < 1 {
+		per = 1
+	}
+	out := &lattice.Execution{
+		Stamps: make([][]clock.Vector, len(ex.Stamps)),
+		Times:  make([][]sim.Time, len(ex.Times)),
+	}
+	for i := range ex.Stamps {
+		k := per
+		if k > len(ex.Stamps[i]) {
+			k = len(ex.Stamps[i])
+		}
+		for _, v := range ex.Stamps[i][:k] {
+			c := v.Clone()
+			for j := range c {
+				if j < len(ex.Stamps) && c[j] > uint64(per) {
+					c[j] = uint64(per)
+				}
+			}
+			out.Stamps[i] = append(out.Stamps[i], c)
+		}
+		out.Times[i] = append(out.Times[i], ex.Times[i][:k]...)
+	}
+	return out
+}
+
+func report(ex *lattice.Execution) {
+	cuts := ex.CountConsistent(0)
+	fmt.Printf("%d consistent cuts of %d possible, width %d\n",
+		cuts, ex.NumCuts(), ex.Width())
+	if ex.PathConsistent() {
+		fmt.Println("actual execution path: consistent under recorded stamps ✓")
+	} else {
+		fmt.Println("WARNING: actual path inconsistent — stamps corrupted?")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracedump:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,48 @@
+// Exhibition hall (paper §5): a convention-center hall with d RFID-scanned
+// doors and capacity 200. Each door sensor i tracks xᵢ (entries) and yᵢ
+// (exits); the fire-code predicate Σ(xᵢ−yᵢ) > 200 is monitored under the
+// Instantaneously modality using strobe vector clocks. Races between
+// concurrent doors land in the borderline bin, which the application
+// treats as positive to err on the safe side.
+package main
+
+import (
+	"fmt"
+
+	pervasive "pervasive"
+)
+
+func main() {
+	hall := pervasive.NewExhibitionHall(pervasive.ExhibitionHallConfig{
+		Seed:             7,
+		Doors:            4,
+		Capacity:         200,
+		InitialOccupancy: 196, // start close to the limit
+		MeanArrival:      150 * pervasive.Millisecond,
+		MeanStay:         25 * pervasive.Second,
+		Delay:            pervasive.DeltaBounded(100 * pervasive.Millisecond),
+		Horizon:          3 * pervasive.Minute,
+	})
+	res := hall.Run()
+
+	fmt.Println("exhibition hall: 4 doors, capacity 200, Δ = 100ms")
+	fmt.Printf("overcrowding episodes (ground truth): %d\n", len(res.Truth))
+	fmt.Printf("detected: %d occurrences, %d markers of racing traffic\n",
+		len(res.Occurrences), len(res.Markers))
+
+	strict, borderline := 0, 0
+	for _, o := range res.Occurrences {
+		if o.Borderline {
+			borderline++
+		} else {
+			strict++
+		}
+	}
+	fmt.Printf("  definite alarms:   %d\n", strict)
+	fmt.Printf("  borderline alarms: %d (racing doors — treated as positive per §5)\n", borderline)
+	fmt.Printf("score: %v\n", res.Confusion)
+	fmt.Printf("borderline bin covered %.0f%% of detection errors\n",
+		100*res.Confusion.BorderlineCoverage())
+	fmt.Printf("control traffic: %d strobe broadcasts, %d bytes\n",
+		res.Net.Sent, res.Net.Bytes)
+}

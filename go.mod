@@ -1,0 +1,3 @@
+module pervasive
+
+go 1.22

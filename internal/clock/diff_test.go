@@ -1,0 +1,159 @@
+package clock
+
+import (
+	"testing"
+
+	"pervasive/internal/stats"
+)
+
+func TestDiffStrobeFirstStrobeSendsLocalOnly(t *testing.T) {
+	d := NewDiffStrobeVector(1, 4)
+	s := d.Strobe()
+	if len(s) != 1 || s[0] != (SparseEntry{Proc: 1, Val: 1}) {
+		t.Fatalf("first diff %v", s)
+	}
+	if s.WireBytes() != 10 {
+		t.Fatalf("wire bytes %d", s.WireBytes())
+	}
+}
+
+func TestDiffStrobeSendsOnlyChanges(t *testing.T) {
+	d := NewDiffStrobeVector(0, 4)
+	d.Strobe() // sends {0:1}
+	// Merge knowledge about proc 2.
+	d.OnStrobe(SparseStamp{{Proc: 2, Val: 7}})
+	s := d.Strobe()
+	// Changed since last broadcast: own component (2) and proc 2 (7).
+	if len(s) != 2 {
+		t.Fatalf("diff %v", s)
+	}
+	m := map[int]uint64{}
+	for _, e := range s {
+		m[e.Proc] = e.Val
+	}
+	if m[0] != 2 || m[2] != 7 {
+		t.Fatalf("diff %v", s)
+	}
+	// Nothing external changed: next strobe carries only the local tick.
+	s2 := d.Strobe()
+	if len(s2) != 1 || s2[0].Proc != 0 || s2[0].Val != 3 {
+		t.Fatalf("diff %v", s2)
+	}
+}
+
+func TestDiffStrobeIgnoresStaleAndBogusEntries(t *testing.T) {
+	d := NewDiffStrobeVector(0, 3)
+	d.OnStrobe(SparseStamp{{Proc: 1, Val: 5}})
+	d.OnStrobe(SparseStamp{{Proc: 1, Val: 3}})  // stale
+	d.OnStrobe(SparseStamp{{Proc: 9, Val: 9}})  // out of range
+	d.OnStrobe(SparseStamp{{Proc: -1, Val: 9}}) // out of range
+	snap := d.Snapshot()
+	if snap.Compare(Vector{0, 5, 0}) != Same {
+		t.Fatalf("snapshot %v", snap)
+	}
+}
+
+// TestDiffEquivalentToFullUnderReliableBroadcast is the compression's
+// correctness theorem: with every strobe delivered (any interleaving that
+// preserves per-sender order), differential and full strobes produce
+// identical knowledge at every process after every event round.
+func TestDiffEquivalentToFullUnderReliableBroadcast(t *testing.T) {
+	r := stats.NewRNG(42)
+	const n = 5
+	full := make([]*StrobeVector, n)
+	diff := make([]*DiffStrobeVector, n)
+	for i := 0; i < n; i++ {
+		full[i] = NewStrobeVector(i, n)
+		diff[i] = NewDiffStrobeVector(i, n)
+	}
+	for step := 0; step < 400; step++ {
+		src := r.Intn(n)
+		fs := full[src].Strobe()
+		ds := diff[src].Strobe()
+		// Reliable broadcast: all peers merge immediately (per-sender
+		// order trivially preserved).
+		for j := 0; j < n; j++ {
+			if j == src {
+				continue
+			}
+			full[j].OnStrobe(fs)
+			diff[j].OnStrobe(ds)
+		}
+		for j := 0; j < n; j++ {
+			if full[j].Snapshot().Compare(diff[j].Snapshot()) != Same {
+				t.Fatalf("step %d: proc %d diverged: full=%v diff=%v",
+					step, j, full[j].Snapshot(), diff[j].Snapshot())
+			}
+		}
+	}
+}
+
+// TestDiffCompressionSavesBytes quantifies the win. Compression pays off
+// when activity is skewed — a busy sensor's consecutive strobes differ in
+// few components because little else changed in between. That is the
+// common sensornet regime (one hot spot, many quiet observers).
+func TestDiffCompressionSavesBytes(t *testing.T) {
+	r := stats.NewRNG(1)
+	const n, steps = 32, 1000
+	diff := make([]*DiffStrobeVector, n)
+	for i := range diff {
+		diff[i] = NewDiffStrobeVector(i, n)
+	}
+	var diffBytes, fullBytes int64
+	for step := 0; step < steps; step++ {
+		// Hot-spot workload: sensor 0 produces 80% of the events.
+		src := 0
+		if r.Bool(0.2) {
+			src = 1 + r.Intn(n-1)
+		}
+		ds := diff[src].Strobe()
+		diffBytes += int64(ds.WireBytes())
+		fullBytes += int64(8 * n)
+		for j := 0; j < n; j++ {
+			if j != src {
+				diff[j].OnStrobe(ds)
+			}
+		}
+	}
+	if diffBytes*2 > fullBytes {
+		t.Fatalf("diff strobes saved too little: %d vs %d bytes", diffBytes, fullBytes)
+	}
+	t.Logf("diff %d bytes vs full %d bytes (%.1f%% of full)",
+		diffBytes, fullBytes, 100*float64(diffBytes)/float64(fullBytes))
+}
+
+func TestDiffStrobeMonotoneUnderLoss(t *testing.T) {
+	// Drop 50% of strobes: receivers lag, but clocks stay monotonic and
+	// never overtake the true event counts.
+	r := stats.NewRNG(9)
+	const n = 4
+	diff := make([]*DiffStrobeVector, n)
+	for i := range diff {
+		diff[i] = NewDiffStrobeVector(i, n)
+	}
+	truth := NewVector(n)
+	prev := make([]Vector, n)
+	for i := range prev {
+		prev[i] = NewVector(n)
+	}
+	for step := 0; step < 500; step++ {
+		src := r.Intn(n)
+		truth[src]++
+		ds := diff[src].Strobe()
+		for j := 0; j < n; j++ {
+			if j != src && r.Bool(0.5) {
+				diff[j].OnStrobe(ds)
+			}
+		}
+		for j := 0; j < n; j++ {
+			snap := diff[j].Snapshot()
+			if rel := prev[j].Compare(snap); rel != Before && rel != Same {
+				t.Fatalf("proc %d clock regressed", j)
+			}
+			if rel := snap.Compare(truth); rel != Before && rel != Same {
+				t.Fatalf("proc %d knows more than happened: %v > %v", j, snap, truth)
+			}
+			prev[j] = snap
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package clocksync
+
+import (
+	"testing"
+
+	"pervasive/internal/network"
+	"pervasive/internal/sim"
+)
+
+// base is a realistic sensor-network configuration: offsets up to 100 ms,
+// 50 ppm drift, 20 µs receive jitter, 1–3 ms link delays.
+func base(seed uint64, n int) Config {
+	return Config{
+		N:         n,
+		Seed:      seed,
+		MaxOffset: 100 * sim.Millisecond,
+		DriftPPM:  50,
+		JitterStd: 20 * sim.Microsecond,
+		MinDelay:  1 * sim.Millisecond,
+		MaxDelay:  3 * sim.Millisecond,
+		Rounds:    8,
+	}
+}
+
+func TestUnsyncedEpsIsOffsetScale(t *testing.T) {
+	res := Unsynced(base(1, 16))
+	if res.Eps < 10*sim.Millisecond {
+		t.Fatalf("unsynced ε = %v; with 100ms offsets it should be tens of ms", res.Eps)
+	}
+	if res.Messages != 0 {
+		t.Fatal("baseline should cost nothing")
+	}
+}
+
+func TestRBSAchievesJitterScaleEps(t *testing.T) {
+	res := RBS(base(2, 16))
+	// RBS cancels propagation; residual should be far below the raw
+	// offsets and near jitter scale (allow a generous 2 ms: the sender
+	// fold-in uses a two-way exchange whose asymmetry can dominate).
+	if res.Eps > 2*sim.Millisecond {
+		t.Fatalf("RBS ε = %v, too large", res.Eps)
+	}
+	if res.Messages == 0 || res.Bytes == 0 {
+		t.Fatal("RBS must cost messages — the service is not free")
+	}
+}
+
+func TestTPSNImprovesOnUnsynced(t *testing.T) {
+	cfg := base(3, 16)
+	syncRes := TPSN(cfg)
+	rawRes := Unsynced(cfg)
+	if syncRes.Eps >= rawRes.Eps/5 {
+		t.Fatalf("TPSN ε=%v raw=%v: should improve at least 5×", syncRes.Eps, rawRes.Eps)
+	}
+	if syncRes.Messages == 0 {
+		t.Fatal("TPSN must cost messages")
+	}
+}
+
+func TestRBSBeatsTPSNOnAverage(t *testing.T) {
+	// The shape the survey [35] reports: RBS's jitter-limited error is
+	// below TPSN's asymmetry-limited error. Compare across seeds.
+	var rbsSum, tpsnSum float64
+	for seed := uint64(0); seed < 10; seed++ {
+		rbsSum += RBS(base(seed, 12)).MeanAbsErr
+		tpsnSum += TPSN(base(seed, 12)).MeanAbsErr
+	}
+	if rbsSum >= tpsnSum {
+		t.Fatalf("mean ε: RBS %.1f ≥ TPSN %.1f", rbsSum/10, tpsnSum/10)
+	}
+}
+
+func TestOnDemandSyncsAtEvent(t *testing.T) {
+	cfg := base(4, 10)
+	res := OnDemand(cfg)
+	raw := Unsynced(cfg)
+	if res.Eps >= raw.Eps/5 {
+		t.Fatalf("on-demand ε=%v raw=%v", res.Eps, raw.Eps)
+	}
+	if res.Messages != int64(2*(cfg.N-1)*cfg.Rounds) {
+		t.Fatalf("on-demand messages %d", res.Messages)
+	}
+}
+
+func TestDriftReopensEps(t *testing.T) {
+	// One validity window (60 s) after sync, ±50 ppm drift opens the
+	// bound by up to ~6 ms; EpsAfter must exceed Eps.
+	res := TPSN(base(5, 12))
+	if res.EpsAfter <= res.Eps {
+		t.Fatalf("drift did not reopen ε: after=%v now=%v", res.EpsAfter, res.Eps)
+	}
+	if res.EpsAfter < sim.Millisecond {
+		t.Fatalf("60s of ±50ppm drift should exceed 1ms: %v", res.EpsAfter)
+	}
+}
+
+func TestTPSNMultiHopWorseThanSingleHop(t *testing.T) {
+	// Error compounds with tree depth: a ring (deep BFS tree) should not
+	// beat a full mesh (depth 1). Compare means across seeds.
+	var meshSum, ringSum float64
+	for seed := uint64(0); seed < 10; seed++ {
+		mesh := base(seed, 12)
+		ring := base(seed, 12)
+		ring.Topo = network.Ring{Nodes: 12}
+		meshSum += TPSN(mesh).MeanAbsErr
+		ringSum += TPSN(ring).MeanAbsErr
+	}
+	if ringSum < meshSum {
+		t.Fatalf("deep tree (%.1f) beat flat tree (%.1f)", ringSum/10, meshSum/10)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	res := Unsynced(Config{Seed: 9})
+	if res.Protocol != "unsynced" {
+		t.Fatal("defaults broken")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := RBS(base(7, 10))
+	b := RBS(base(7, 10))
+	if a != b {
+		t.Fatalf("RBS not deterministic: %+v vs %+v", a, b)
+	}
+	c := TPSN(base(7, 10))
+	d := TPSN(base(7, 10))
+	if c != d {
+		t.Fatal("TPSN not deterministic")
+	}
+}
+
+func TestRoundsImproveTPSN(t *testing.T) {
+	// Averaging more handshakes should not hurt on average.
+	var one, many float64
+	for seed := uint64(0); seed < 12; seed++ {
+		cfg1 := base(seed, 8)
+		cfg1.Rounds = 1
+		cfgN := base(seed, 8)
+		cfgN.Rounds = 16
+		one += TPSN(cfg1).MeanAbsErr
+		many += TPSN(cfgN).MeanAbsErr
+	}
+	if many > one {
+		t.Fatalf("16 rounds (%.1f) worse than 1 round (%.1f)", many/12, one/12)
+	}
+}

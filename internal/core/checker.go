@@ -1,0 +1,250 @@
+package core
+
+import (
+	"pervasive/internal/clock"
+	"pervasive/internal/network"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+)
+
+// StrobeChecker is the distinguished root process P0 of the strobe-clock
+// detection algorithms: it consumes the system-wide strobe broadcasts,
+// maintains the latest sensed value per process, and detects *each
+// occurrence* of the global predicate becoming true in its (strobe-order)
+// view of the world plane.
+//
+// With vector strobes the checker is race-aware: when the event that flips
+// the predicate is concurrent (in the strobe partial order) with another
+// process's latest event, and the predicate's truth depends on their
+// unknowable relative order, the flip is classified into the borderline
+// bin rather than reported as definite (Section 5). With scalar strobes
+// no concurrency information exists, so every flip is reported as definite
+// — the source of the scalar protocol's false positives (Section 3.3).
+type StrobeChecker struct {
+	n         int
+	pred      predicate.Cond
+	raceAware bool
+
+	vals       []map[string]float64
+	stamps     []clock.Vector // latest applied vector stamp per proc (nil = none)
+	lastSeq    []int
+	lastChange []change
+	// recon reconstructs each sender's full vector from differential
+	// strobes (DiffVectorStrobe protocol); nil entries until first diff.
+	recon []clock.Vector
+
+	cur      bool
+	occ      []Occurrence
+	markers  []sim.Time
+	finished bool
+
+	// Notify, if set, is invoked when the predicate becomes true in the
+	// checker's view — the hook through which detection triggers
+	// actuation (the sense→detect→actuate loop of Section 2.2). The
+	// occurrence's End is not yet known at call time.
+	Notify func(o Occurrence)
+
+	// NaiveRace switches race detection to the naive criterion — flag
+	// whenever the applied event is concurrent with any other process's
+	// latest event, regardless of whether the predicate's history depends
+	// on their order. Used by the A2 ablation; the default four-state
+	// criterion flags only order-sensitive races.
+	NaiveRace bool
+
+	// Applied counts strobes applied (non-stale).
+	Applied int64
+	// Stale counts strobes discarded as stale/duplicate/out-of-order.
+	Stale int64
+}
+
+type change struct {
+	varName string
+	prev    float64
+	valid   bool
+}
+
+// NewVectorChecker creates the race-aware checker for the strobe-vector
+// protocol over n sensor processes.
+func NewVectorChecker(n int, pred predicate.Cond) *StrobeChecker {
+	return newStrobeChecker(n, pred, true)
+}
+
+// NewScalarChecker creates the checker for the strobe-scalar protocol; it
+// cannot detect races.
+func NewScalarChecker(n int, pred predicate.Cond) *StrobeChecker {
+	return newStrobeChecker(n, pred, false)
+}
+
+func newStrobeChecker(n int, pred predicate.Cond, raceAware bool) *StrobeChecker {
+	c := &StrobeChecker{
+		n: n, pred: pred, raceAware: raceAware,
+		vals:       make([]map[string]float64, n),
+		stamps:     make([]clock.Vector, n),
+		lastSeq:    make([]int, n),
+		lastChange: make([]change, n),
+	}
+	for i := range c.vals {
+		c.vals[i] = make(map[string]float64)
+	}
+	return c
+}
+
+// Register installs the checker on transport node idx.
+func (c *StrobeChecker) Register(net *network.Net, idx int) {
+	net.Register(idx, func(m network.Message, now sim.Time) {
+		if strobe, ok := m.Payload.(StrobeMsg); ok {
+			c.OnStrobe(strobe, now)
+		}
+	})
+}
+
+// state adapts the checker's view to predicate.State.
+type checkerState struct{ vals []map[string]float64 }
+
+// Get implements predicate.State.
+func (s checkerState) Get(proc int, name string) float64 {
+	if proc < 0 || proc >= len(s.vals) {
+		return 0
+	}
+	return s.vals[proc][name]
+}
+
+// NumProcs implements predicate.State.
+func (s checkerState) NumProcs() int { return len(s.vals) }
+
+// OnStrobe applies one received strobe to the view and updates detection
+// state. Strobes from a process are applied in increasing Seq order;
+// older ones that arrive late (reordered or after a loss) are discarded,
+// which keeps the effect of a loss local in time (Section 4.2.2).
+func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
+	if c.finished {
+		return
+	}
+	if m.Proc < 0 || m.Proc >= c.n || m.Seq <= c.lastSeq[m.Proc] {
+		c.Stale++
+		return
+	}
+	c.lastSeq[m.Proc] = m.Seq
+	c.Applied++
+
+	// Differential strobes: rebuild the sender's full vector by merging
+	// its changed components into the per-sender reconstruction. After a
+	// lost diff the reconstruction under-knows until the missing
+	// components change again — which can only add false concurrency
+	// (more borderline flags), never false order.
+	if m.Vec == nil && m.Sparse != nil {
+		if c.recon == nil {
+			c.recon = make([]clock.Vector, c.n)
+		}
+		if c.recon[m.Proc] == nil {
+			c.recon[m.Proc] = clock.NewVector(c.n)
+		}
+		for _, e := range m.Sparse {
+			if e.Proc >= 0 && e.Proc < c.n && e.Val > c.recon[m.Proc][e.Proc] {
+				c.recon[m.Proc][e.Proc] = e.Val
+			}
+		}
+		m.Vec = c.recon[m.Proc].Clone()
+	}
+
+	prev := c.vals[m.Proc][m.Var]
+	c.vals[m.Proc][m.Var] = m.Value
+	settled := c.pred.Holds(checkerState{c.vals})
+
+	race := false
+	if c.raceAware && m.Vec != nil {
+		race = c.detectRace(m, prev)
+	}
+
+	c.lastChange[m.Proc] = change{varName: m.Var, prev: prev, valid: true}
+	if m.Vec != nil {
+		c.stamps[m.Proc] = m.Vec
+	}
+
+	if race {
+		c.markers = append(c.markers, now)
+	}
+	if settled != c.cur {
+		if settled {
+			o := Occurrence{Start: now, Borderline: race}
+			c.occ = append(c.occ, o)
+			if c.Notify != nil {
+				c.Notify(o)
+			}
+		} else if len(c.occ) > 0 {
+			c.occ[len(c.occ)-1].End = now
+			if race {
+				c.occ[len(c.occ)-1].Borderline = true
+			}
+		}
+		c.cur = settled
+	}
+}
+
+// detectRace reports whether the just-applied event e (from m.Proc, whose
+// variable previously held prevI) races with another process's latest
+// event e' in a way that makes the predicate's history ambiguous. The two
+// events race when their stamps are concurrent — the strobe order cannot
+// tell which happened first. Consider the four states over {e, e'}
+// applied/not: s00, s10 (only e), s01 (only e'), s11 (both). The true
+// history passed through s00 → (s10 or s01) → s11 in an unknowable order.
+// The order matters exactly when the endpoints agree (φ(s00) == φ(s11))
+// but the middles differ (φ(s10) ≠ φ(s01)): one order contains a
+// transient φ-change that the other lacks, so whether φ held in between
+// cannot be decided. When the endpoints differ, the net transition
+// happens under either order (only its attribution shifts within the race
+// window) and the observation is robust — e.g. two concurrent rises that
+// jointly push a sum over its threshold are correctly left unflagged.
+func (c *StrobeChecker) detectRace(m StrobeMsg, prevI float64) bool {
+	phi := func() bool { return c.pred.Holds(checkerState{c.vals}) }
+	for j := 0; j < c.n; j++ {
+		if j == m.Proc || c.stamps[j] == nil || !c.lastChange[j].valid {
+			continue
+		}
+		if !m.Vec.ConcurrentWith(c.stamps[j]) {
+			continue
+		}
+		if c.NaiveRace {
+			return true
+		}
+		ch := c.lastChange[j]
+		curJ := c.vals[j][ch.varName]
+		curI := c.vals[m.Proc][m.Var]
+
+		phi11 := phi()
+		c.vals[j][ch.varName] = ch.prev // s10: only e
+		phi10 := phi()
+		c.vals[m.Proc][m.Var] = prevI // s00: neither
+		phi00 := phi()
+		c.vals[j][ch.varName] = curJ // s01: only e'
+		phi01 := phi()
+		c.vals[m.Proc][m.Var] = curI // restore s11
+
+		if phi00 == phi11 && phi10 != phi01 {
+			return true
+		}
+	}
+	return false
+}
+
+// Finish closes any open occurrence at the horizon. Further strobes are
+// ignored.
+func (c *StrobeChecker) Finish(horizon sim.Time) {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.occ = closeOpen(c.occ, c.cur, horizon)
+}
+
+// Occurrences returns the detected occurrences (call Finish first).
+func (c *StrobeChecker) Occurrences() []Occurrence { return c.occ }
+
+// Markers returns the view times at which race ambiguity was observed.
+func (c *StrobeChecker) Markers() []sim.Time { return c.markers }
+
+// View returns the checker's current value of (proc, var) — the evolving
+// "map of the physical world" of Section 1.
+func (c *StrobeChecker) View(proc int, name string) float64 {
+	return checkerState{c.vals}.Get(proc, name)
+}

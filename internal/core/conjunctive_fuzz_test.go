@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"pervasive/internal/clock"
+	"pervasive/internal/intervals"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/stats"
+)
+
+// Soundness fuzz for the conjunctive checker: on random strobe-stamped
+// executions, every matched interval set must genuinely satisfy the
+// modality's pairwise relation. (Completeness on specific constructions is
+// covered by the deterministic tests.)
+
+// genIntervals produces per-process interval streams from a random strobe
+// execution: each process alternates conjunct-true/false at its events.
+func genIntervals(r *stats.RNG, n, events int) [][]IntervalMsg {
+	clocks := make([]*clock.StrobeVector, n)
+	for i := range clocks {
+		clocks[i] = clock.NewStrobeVector(i, n)
+	}
+	open := make([]clock.Vector, n)
+	openAt := make([]int64, n)
+	idx := make([]int, n)
+	out := make([][]IntervalMsg, n)
+	var published []clock.Vector
+
+	for step := 0; step < events; step++ {
+		p := r.Intn(n)
+		// Merge a random already-published strobe (delayed arrival).
+		if len(published) > 0 && r.Bool(0.6) {
+			clocks[p].OnStrobe(published[r.Intn(len(published))])
+		}
+		v := clocks[p].Strobe()
+		published = append(published, v)
+		if open[p] == nil {
+			open[p] = v
+			openAt[p] = int64(step)
+		} else {
+			out[p] = append(out[p], IntervalMsg{
+				Proc: p, Index: idx[p],
+				Open: open[p], Close: v,
+				OpenAt: sim.Time(openAt[p]), CloseAt: sim.Time(step),
+			})
+			idx[p]++
+			open[p] = nil
+		}
+	}
+	return out
+}
+
+func TestConjunctiveSoundnessFuzz(t *testing.T) {
+	r := stats.NewRNG(99)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(2)
+		streams := genIntervals(r, n, 60)
+		for _, modality := range []predicate.Modality{predicate.Possibly, predicate.Definitely} {
+			c := NewConjunctiveChecker(n, modality)
+			c.KeepSets = true
+			// Deliver interleaved but per-proc in order.
+			cursors := make([]int, n)
+			for {
+				progressed := false
+				for p := 0; p < n; p++ {
+					if cursors[p] < len(streams[p]) && r.Bool(0.7) {
+						c.OnInterval(streams[p][cursors[p]], 0)
+						cursors[p]++
+						progressed = true
+					}
+				}
+				if !progressed {
+					done := true
+					for p := 0; p < n; p++ {
+						if cursors[p] < len(streams[p]) {
+							c.OnInterval(streams[p][cursors[p]], 0)
+							cursors[p]++
+							done = false
+						}
+					}
+					if done {
+						break
+					}
+				}
+			}
+			for _, set := range c.MatchedSets {
+				if len(set) != n {
+					t.Fatalf("trial %d %v: matched set size %d", trial, modality, len(set))
+				}
+				for i := 0; i < n; i++ {
+					for j := i + 1; j < n; j++ {
+						x, y := po(set[i]), po(set[j])
+						switch modality {
+						case predicate.Possibly:
+							if !intervals.PossiblyOverlap(x, y) {
+								t.Fatalf("trial %d: unsound Possibly match: %v vs %v",
+									trial, set[i], set[j])
+							}
+						case predicate.Definitely:
+							if !intervals.DefinitelyOverlap(x, y) {
+								t.Fatalf("trial %d: unsound Definitely match: %v vs %v",
+									trial, set[i], set[j])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"pervasive/internal/sim"
+)
+
+// End-to-end tests for the DiffVectorStrobe protocol: semantically the
+// vector protocol, differentially encoded on the wire.
+
+func TestDiffKindMatchesVectorDetection(t *testing.T) {
+	// The diff protocol detects exactly the same occurrences at exactly
+	// the same instants as full vectors: the view values and Seq ordering
+	// are identical. Only the borderline flags may differ — when network
+	// reordering drops a stale diff, the checker's reconstruction
+	// under-knows the sender's vector, which can change which flips look
+	// race-ambiguous. Detections and scores must match bit for bit.
+	for seed := uint64(0); seed < 5; seed++ {
+		vec := pulseHarness(seed, 4, VectorStrobe,
+			sim.NewDeltaBounded(80*sim.Millisecond),
+			400*sim.Millisecond, 600*sim.Millisecond, 40*sim.Second).Run()
+		diff := pulseHarness(seed, 4, DiffVectorStrobe,
+			sim.NewDeltaBounded(80*sim.Millisecond),
+			400*sim.Millisecond, 600*sim.Millisecond, 40*sim.Second).Run()
+		if vec.Confusion.TP != diff.Confusion.TP ||
+			vec.Confusion.FP != diff.Confusion.FP ||
+			vec.Confusion.FN != diff.Confusion.FN ||
+			vec.Confusion.TN != diff.Confusion.TN {
+			t.Fatalf("seed %d: diff protocol diverged: %+v vs %+v",
+				seed, diff.Confusion, vec.Confusion)
+		}
+		if len(vec.Occurrences) != len(diff.Occurrences) {
+			t.Fatalf("seed %d: occurrence counts differ", seed)
+		}
+		for i := range vec.Occurrences {
+			if vec.Occurrences[i].Start != diff.Occurrences[i].Start ||
+				vec.Occurrences[i].End != diff.Occurrences[i].End {
+				t.Fatalf("seed %d: occurrence %d differs: %+v vs %+v",
+					seed, i, vec.Occurrences[i], diff.Occurrences[i])
+			}
+		}
+	}
+}
+
+func TestDiffKindExactlyEqualsVectorAtDeltaZero(t *testing.T) {
+	// With synchronous delivery there is no reordering: everything,
+	// including the borderline flags, must be identical.
+	for seed := uint64(0); seed < 3; seed++ {
+		vec := pulseHarness(seed, 4, VectorStrobe, sim.Synchronous{},
+			400*sim.Millisecond, 600*sim.Millisecond, 30*sim.Second).Run()
+		diff := pulseHarness(seed, 4, DiffVectorStrobe, sim.Synchronous{},
+			400*sim.Millisecond, 600*sim.Millisecond, 30*sim.Second).Run()
+		if vec.Confusion != diff.Confusion {
+			t.Fatalf("seed %d: %+v vs %+v", seed, diff.Confusion, vec.Confusion)
+		}
+		for i := range vec.Occurrences {
+			if vec.Occurrences[i] != diff.Occurrences[i] {
+				t.Fatalf("seed %d: occurrence %d differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestDiffKindSavesBytes(t *testing.T) {
+	vec := pulseHarness(3, 8, VectorStrobe, sim.Synchronous{},
+		300*sim.Millisecond, 300*sim.Millisecond, 20*sim.Second).Run()
+	diff := pulseHarness(3, 8, DiffVectorStrobe, sim.Synchronous{},
+		300*sim.Millisecond, 300*sim.Millisecond, 20*sim.Second).Run()
+	if diff.Net.Sent != vec.Net.Sent {
+		t.Fatalf("same workload, different message counts: %d vs %d",
+			diff.Net.Sent, vec.Net.Sent)
+	}
+	if diff.Net.Bytes >= vec.Net.Bytes {
+		t.Fatalf("diff strobes (%dB) not smaller than full vectors (%dB)",
+			diff.Net.Bytes, vec.Net.Bytes)
+	}
+	t.Logf("diff %dB vs full %dB (%.1f%%)", diff.Net.Bytes, vec.Net.Bytes,
+		100*float64(diff.Net.Bytes)/float64(vec.Net.Bytes))
+}
+
+func TestDiffKindSurvivesLoss(t *testing.T) {
+	// Lost diffs cause under-knowledge, never false order: the detector
+	// keeps working, with at most extra borderline flags.
+	res := pulseHarness(5, 3, DiffVectorStrobe,
+		sim.WithLoss{Inner: sim.NewDeltaBounded(20 * sim.Millisecond), P: 0.2},
+		2*sim.Second, 3*sim.Second, 60*sim.Second).Run()
+	if len(res.Truth) < 3 {
+		t.Skip("thin workload")
+	}
+	if res.Confusion.Recall() < 0.4 {
+		t.Fatalf("diff protocol collapsed under loss: %+v", res.Confusion)
+	}
+}
+
+func TestDiffKindByKindCounter(t *testing.T) {
+	res := pulseHarness(1, 3, DiffVectorStrobe, sim.Synchronous{},
+		500*sim.Millisecond, 500*sim.Millisecond, 5*sim.Second).Run()
+	if res.Net.ByKind["strobe-diff"] == 0 {
+		t.Fatalf("diff strobes not counted by kind: %v", res.Net.ByKind)
+	}
+	if res.Net.ByKind["strobe-vec"] != 0 {
+		t.Fatal("full vectors leaked into the diff protocol")
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"pervasive/internal/sim"
+	"pervasive/internal/tl"
+)
+
+// occSignal converts an occurrence stream into a boolean signal over
+// [0, horizon).
+func occSignal(occ []Occurrence, horizon sim.Time) tl.Signal {
+	spans := make([]tl.Span, 0, len(occ))
+	for _, o := range occ {
+		end := o.End
+		if end == 0 || end > horizon {
+			end = horizon
+		}
+		spans = append(spans, tl.Span{Lo: o.Start, Hi: end})
+	}
+	return tl.NewSignal(spans, horizon)
+}
+
+// Divergence returns the fraction of [0, horizon) during which two
+// detectors' views of the predicate disagree — the price of replicated
+// (in-network) detection: each replica sees the strobes in its own arrival
+// order, so replicas flip at slightly different instants. With Δ-bounded
+// delays the disagreement is confined to O(Δ) windows around each flip.
+func Divergence(a, b []Occurrence, horizon sim.Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	sa := occSignal(a, horizon)
+	sb := occSignal(b, horizon)
+	xor := sa.And(sb.Not()).Or(sb.And(sa.Not()))
+	return float64(xor.TrueTime()) / float64(horizon)
+}
+
+// SignalOf exposes a detector occurrence stream as a tl.Signal so MTL
+// properties (Section 3.1.1.a.iv) can be monitored over detector output.
+func SignalOf(occ []Occurrence, horizon sim.Time) tl.Signal {
+	return occSignal(occ, horizon)
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDivergenceBasics(t *testing.T) {
+	a := []Occurrence{{Start: 0, End: 50}}
+	b := []Occurrence{{Start: 10, End: 60}}
+	// XOR = [0,10) ∪ [50,60) = 20 of 100.
+	if d := Divergence(a, b, 100); d != 0.2 {
+		t.Fatalf("divergence %v", d)
+	}
+	if d := Divergence(a, a, 100); d != 0 {
+		t.Fatalf("self divergence %v", d)
+	}
+	if d := Divergence(nil, nil, 100); d != 0 {
+		t.Fatalf("empty divergence %v", d)
+	}
+	if Divergence(a, b, 0) != 0 {
+		t.Fatal("zero horizon should be 0")
+	}
+}
+
+func TestDivergenceOpenOccurrence(t *testing.T) {
+	a := []Occurrence{{Start: 90, End: 0}} // open: clamps to horizon
+	if d := Divergence(a, nil, 100); d != 0.1 {
+		t.Fatalf("open-occurrence divergence %v", d)
+	}
+}
+
+func TestSignalOf(t *testing.T) {
+	s := SignalOf([]Occurrence{{Start: 10, End: 20}}, 100)
+	if !s.At(15) || s.At(25) {
+		t.Fatal("signal conversion wrong")
+	}
+}

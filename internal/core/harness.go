@@ -1,0 +1,316 @@
+package core
+
+import (
+	"strconv"
+
+	"pervasive/internal/clock"
+	"pervasive/internal/lattice"
+	"pervasive/internal/network"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/stats"
+	"pervasive/internal/trace"
+	"pervasive/internal/world"
+)
+
+// Binding maps a world-plane attribute onto a network-plane variable: the
+// sensor at Proc monitors Object.Attr and exposes it as Var — the link
+// between ⟨O,C⟩ and ⟨P,L⟩ of the system model.
+type Binding struct {
+	Proc   int
+	Object int
+	Attr   string
+	Var    string
+}
+
+// HarnessConfig assembles one detection run.
+type HarnessConfig struct {
+	Seed uint64
+	// N is the number of sensor processes; the checker P0 is an extra
+	// transport node with index N.
+	N     int
+	Kind  ClockKind
+	Delay sim.DelayModel
+	// Topo defaults to a full mesh over N+1 nodes; Flood selects
+	// hop-by-hop broadcast over it.
+	Topo  network.Topology
+	Flood bool
+	// Pred is the global predicate over (proc, var) sensor variables.
+	Pred predicate.Cond
+	// Modality selects the checker: Instantaneously uses the strobe or
+	// physical checker per Kind; Possibly/Definitely use the conjunctive
+	// interval checker (Kind must be VectorStrobe).
+	Modality predicate.Modality
+	// LocalConj (conjunctive modes) is each sensor's local conjunct; nil
+	// derives it from Pred via predicate.AsConjunctive.
+	LocalConj predicate.Cond
+	// Epsilon is the physical clock synchronization quality (each reading
+	// within ±Epsilon/2 of true time); PhysicalReport mode only.
+	Epsilon sim.Duration
+	// Slack is the physical checker's reordering buffer; defaults to the
+	// delay bound plus Epsilon.
+	Slack   sim.Duration
+	Horizon sim.Time
+	// Tol is the scoring tolerance; defaults to the delay bound (or
+	// 100 ms when unbounded) plus Epsilon.
+	Tol       sim.Duration
+	Trace     *trace.Trace
+	LogStamps bool
+}
+
+// Harness owns one wired simulation.
+type Harness struct {
+	Cfg      HarnessConfig
+	Eng      *sim.Engine
+	World    *world.World
+	Net      *network.Net
+	Sensors  []*Sensor
+	Bindings []Binding
+
+	StrobeCk *StrobeChecker
+	PhysCk   *PhysicalChecker
+	ConjCk   *ConjunctiveChecker
+}
+
+// Results of a harness run.
+type Results struct {
+	Occurrences []Occurrence
+	Markers     []sim.Time
+	Truth       []world.Interval
+	Confusion   stats.Confusion
+	Net         network.Stats
+	Horizon     sim.Time
+}
+
+// NewHarness wires engine, world plane, transport, sensor fleet and
+// checker. Callers then create world objects, call Bind for each sensed
+// attribute, install world generators, and Run.
+func NewHarness(cfg HarnessConfig) *Harness {
+	if cfg.N <= 0 {
+		panic("core: harness needs at least one sensor")
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = sim.Synchronous{}
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 10 * sim.Second
+	}
+	if cfg.Topo == nil {
+		cfg.Topo = network.FullMesh{Nodes: cfg.N + 1}
+	}
+	bound := cfg.Delay.Bound()
+	if cfg.Tol <= 0 {
+		if bound == sim.Never {
+			cfg.Tol = 100 * sim.Millisecond
+		} else {
+			cfg.Tol = bound
+		}
+		cfg.Tol += cfg.Epsilon + sim.Millisecond
+	}
+	if cfg.Slack <= 0 {
+		if bound == sim.Never {
+			cfg.Slack = 100 * sim.Millisecond
+		} else {
+			cfg.Slack = bound
+		}
+		cfg.Slack += cfg.Epsilon
+	}
+
+	eng := sim.NewEngine(cfg.Seed)
+	w := world.New(eng)
+	nt := network.New(eng, cfg.Topo, cfg.Delay)
+	nt.Flood = cfg.Flood
+
+	h := &Harness{Cfg: cfg, Eng: eng, World: w, Net: nt}
+
+	scfg := SensorConfig{
+		N: cfg.N, Kind: cfg.Kind, CheckerIdx: cfg.N,
+		Trace: cfg.Trace, LogStamps: cfg.LogStamps,
+	}
+	if cfg.Kind == PhysicalReport {
+		scfg.Phys = clock.NewEpsilonFleet(eng.RNG().Fork(), cfg.N, cfg.Epsilon)
+	}
+
+	switch cfg.Modality {
+	case predicate.Instantaneously:
+		if cfg.Pred == nil {
+			panic("core: Instantaneously modality needs Pred")
+		}
+		switch cfg.Kind {
+		case VectorStrobe, DiffVectorStrobe:
+			h.StrobeCk = NewVectorChecker(cfg.N, cfg.Pred)
+			h.StrobeCk.Register(nt, cfg.N)
+		case ScalarStrobe:
+			h.StrobeCk = NewScalarChecker(cfg.N, cfg.Pred)
+			h.StrobeCk.Register(nt, cfg.N)
+		case PhysicalReport:
+			h.PhysCk = NewPhysicalChecker(eng, cfg.N, cfg.Pred, cfg.Slack)
+			h.PhysCk.Register(nt, cfg.N)
+		}
+	case predicate.Possibly, predicate.Definitely:
+		if cfg.Kind != VectorStrobe {
+			panic("core: conjunctive modalities require strobe vector clocks")
+		}
+		local := cfg.LocalConj
+		if local == nil {
+			cjs, ok := predicate.AsConjunctive(cfg.Pred)
+			if !ok || len(cjs) == 0 {
+				panic("core: predicate is not conjunctive and no LocalConj given")
+			}
+			local = cjs[0].Cond
+		}
+		scfg.LocalConj = local
+		h.ConjCk = NewConjunctiveChecker(cfg.N, cfg.Modality)
+		h.ConjCk.Register(nt, cfg.N)
+	}
+
+	h.Sensors = NewSensors(eng, nt, scfg)
+	return h
+}
+
+// Bind connects object obj's attr to variable varName at sensor proc.
+func (h *Harness) Bind(proc, obj int, attr, varName string) {
+	h.Sensors[proc].Bind(h.World, obj, attr, varName)
+	h.Bindings = append(h.Bindings, Binding{Proc: proc, Object: obj, Attr: attr, Var: varName})
+}
+
+// truthPred evaluates the configured predicate directly against
+// ground-truth world attribute values via the bindings.
+func (h *Harness) truthPred() world.StatePredicate {
+	// index bindings for the adapter
+	byVar := make(map[predicate.Key]Binding, len(h.Bindings))
+	for _, b := range h.Bindings {
+		byVar[predicate.Key{Proc: b.Proc, Name: b.Var}] = b
+	}
+	pred := h.Cfg.Pred
+	n := h.Cfg.N
+	return func(get func(obj int, attr string) float64) bool {
+		return pred.Holds(worldState{n: n, byVar: byVar, get: get})
+	}
+}
+
+// worldState adapts ground-truth world values to predicate.State through
+// the harness bindings.
+type worldState struct {
+	n     int
+	byVar map[predicate.Key]Binding
+	get   func(obj int, attr string) float64
+}
+
+// Get implements predicate.State.
+func (s worldState) Get(proc int, name string) float64 {
+	b, ok := s.byVar[predicate.Key{Proc: proc, Name: name}]
+	if !ok {
+		return 0
+	}
+	return s.get(b.Object, b.Attr)
+}
+
+// NumProcs implements predicate.State.
+func (s worldState) NumProcs() int { return s.n }
+
+// Run executes the simulation to the horizon, finishes the checker, and
+// scores against ground truth.
+func (h *Harness) Run() Results {
+	horizon := h.Cfg.Horizon
+	h.Eng.Run(horizon)
+	// Let in-flight control traffic settle (bounded models only).
+	for _, s := range h.Sensors {
+		s.FlushConjunct(horizon)
+	}
+	h.Eng.RunAll()
+
+	res := Results{Net: h.Net.Stats, Horizon: horizon}
+	switch {
+	case h.StrobeCk != nil:
+		h.StrobeCk.Finish(horizon)
+		res.Occurrences = h.StrobeCk.Occurrences()
+		res.Markers = h.StrobeCk.Markers()
+	case h.PhysCk != nil:
+		h.PhysCk.Finish(horizon)
+		res.Occurrences = h.PhysCk.Occurrences()
+	case h.ConjCk != nil:
+		res.Occurrences = h.ConjCk.Occurrences()
+	}
+	res.Occurrences = clipToHorizon(res.Occurrences, horizon)
+	if h.Cfg.Pred != nil {
+		res.Truth = world.TrueIntervals(h.World.Log(), h.truthPred(), horizon)
+		res.Confusion = Score(res.Occurrences, res.Truth, res.Markers, h.Cfg.Tol, horizon)
+	}
+	return res
+}
+
+// clipToHorizon drops occurrences that begin after the horizon (an
+// artifact of draining in-flight traffic) and clamps trailing ends, so
+// detections and ground truth cover the same span.
+func clipToHorizon(occ []Occurrence, horizon sim.Time) []Occurrence {
+	out := occ[:0]
+	for _, o := range occ {
+		if o.Start >= horizon {
+			continue
+		}
+		if o.End > horizon || o.End == 0 {
+			o.End = horizon
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// LatticeExecution assembles the stamped-event execution for lattice
+// analysis (requires LogStamps).
+func (h *Harness) LatticeExecution() *lattice.Execution {
+	ex := &lattice.Execution{
+		Stamps: make([][]clock.Vector, len(h.Sensors)),
+		Times:  make([][]sim.Time, len(h.Sensors)),
+	}
+	for i, s := range h.Sensors {
+		ex.Stamps[i] = s.Stamps
+		ex.Times[i] = s.Times
+	}
+	return ex
+}
+
+// ConjunctiveGlobal builds the global predicate ∧ᵢ local(i) over n
+// sensors from a single-process local conjunct template (its process
+// index is remapped to each sensor). Useful for conjunctive scenarios
+// where the same rule runs at every sensor.
+func ConjunctiveGlobal(local predicate.Cond, n int) predicate.Cond {
+	keys := predicate.VarsOf(local)
+	var out predicate.Cond
+	for i := 0; i < n; i++ {
+		i := i
+		part := predicate.FuncCond{
+			F: func(s predicate.State) bool {
+				return local.Holds(remap{inner: s, to: i})
+			},
+			Keys: remapKeys(keys, i),
+			Desc: "local@" + strconv.Itoa(i),
+		}
+		if out == nil {
+			out = part
+		} else {
+			out = predicate.And{L: out, R: part}
+		}
+	}
+	return out
+}
+
+type remap struct {
+	inner predicate.State
+	to    int
+}
+
+// Get implements predicate.State.
+func (r remap) Get(_ int, name string) float64 { return r.inner.Get(r.to, name) }
+
+// NumProcs implements predicate.State.
+func (r remap) NumProcs() int { return r.inner.NumProcs() }
+
+func remapKeys(keys []predicate.Key, to int) []predicate.Key {
+	out := make([]predicate.Key, len(keys))
+	for i, k := range keys {
+		out[i] = predicate.Key{Proc: to, Name: k.Name}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"pervasive/internal/sim"
+	"pervasive/internal/world"
+)
+
+func iv(s, e sim.Time) world.Interval { return world.Interval{Start: s, End: e} }
+
+func TestScorePerfectDetection(t *testing.T) {
+	truth := []world.Interval{iv(100, 200), iv(500, 600)}
+	dets := []Occurrence{{Start: 105, End: 205}, {Start: 505, End: 610}}
+	c := Score(dets, truth, nil, 10, 1000)
+	if c.TP != 2 || c.FP != 0 || c.FN != 0 {
+		t.Fatalf("confusion %+v", c)
+	}
+	// Gaps: [0,100), [200,500), [600,1000) all clean.
+	if c.TN != 3 {
+		t.Fatalf("TN %d", c.TN)
+	}
+}
+
+func TestScoreFalseNegative(t *testing.T) {
+	truth := []world.Interval{iv(100, 200), iv(500, 600)}
+	dets := []Occurrence{{Start: 100, End: 200}}
+	c := Score(dets, truth, nil, 5, 1000)
+	if c.TP != 1 || c.FN != 1 || c.FP != 0 {
+		t.Fatalf("confusion %+v", c)
+	}
+}
+
+func TestScoreFalsePositive(t *testing.T) {
+	truth := []world.Interval{iv(100, 200)}
+	dets := []Occurrence{{Start: 100, End: 200}, {Start: 700, End: 720}}
+	c := Score(dets, truth, nil, 5, 1000)
+	if c.TP != 1 || c.FP != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+	// The gap [200,1000) contains the FP: not clean.
+	if c.TN != 1 {
+		t.Fatalf("TN %d", c.TN)
+	}
+}
+
+func TestScoreToleranceAbsorbsLag(t *testing.T) {
+	truth := []world.Interval{iv(100, 110)}
+	// Detection lags by 40 (view delay), interval short.
+	dets := []Occurrence{{Start: 140, End: 150}}
+	if c := Score(dets, truth, nil, 50, 1000); c.TP != 1 || c.FP != 0 {
+		t.Fatalf("tolerant match failed: %+v", c)
+	}
+	if c := Score(dets, truth, nil, 5, 1000); c.TP != 0 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("strict match failed: %+v", c)
+	}
+}
+
+func TestScoreBorderlineFP(t *testing.T) {
+	truth := []world.Interval{iv(100, 200)}
+	dets := []Occurrence{
+		{Start: 100, End: 200},
+		{Start: 700, End: 720, Borderline: true},
+		{Start: 900, End: 910},
+	}
+	c := Score(dets, truth, nil, 5, 1000)
+	if c.FP != 2 || c.BorderlineFP != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+}
+
+func TestScoreBorderlineFNViaMarkers(t *testing.T) {
+	truth := []world.Interval{iv(100, 120), iv(500, 520)}
+	dets := []Occurrence{} // both missed
+	markers := []sim.Time{110}
+	c := Score(dets, truth, markers, 5, 1000)
+	if c.FN != 2 || c.BorderlineFN != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+}
+
+func TestScoreMarkerMakesFPBorderline(t *testing.T) {
+	dets := []Occurrence{{Start: 700, End: 720}}
+	markers := []sim.Time{705}
+	c := Score(dets, nil, markers, 5, 1000)
+	if c.FP != 1 || c.BorderlineFP != 1 {
+		t.Fatalf("confusion %+v", c)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	c := Score(nil, nil, nil, 5, 1000)
+	if c.TP != 0 || c.FP != 0 || c.FN != 0 || c.TN != 1 {
+		t.Fatalf("empty confusion %+v", c)
+	}
+}
+
+func TestGapsOf(t *testing.T) {
+	gaps := gapsOf([]world.Interval{iv(10, 20), iv(30, 40)}, 100)
+	want := []world.Interval{iv(0, 10), iv(20, 30), iv(40, 100)}
+	if len(gaps) != 3 {
+		t.Fatalf("gaps %v", gaps)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps %v want %v", gaps, want)
+		}
+	}
+	// Truth starting at 0 and running to horizon leaves no gaps.
+	if g := gapsOf([]world.Interval{iv(0, 100)}, 100); len(g) != 0 {
+		t.Fatalf("full coverage gaps %v", g)
+	}
+}
+
+func TestClipToHorizon(t *testing.T) {
+	occ := []Occurrence{
+		{Start: 10, End: 20},
+		{Start: 90, End: 0},    // open
+		{Start: 150, End: 160}, // past horizon
+	}
+	got := clipToHorizon(occ, 100)
+	if len(got) != 2 {
+		t.Fatalf("clip %v", got)
+	}
+	if got[1].End != 100 {
+		t.Fatalf("open occurrence not clamped: %v", got[1])
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"container/heap"
+
+	"pervasive/internal/network"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+)
+
+// PhysicalChecker detects each occurrence of a global predicate using
+// ε-synchronized physical timestamps, in the style of Mayo–Kearns [28]
+// and Stoller [34]: sensors report timestamped events; the checker buffers
+// reports briefly to absorb network reordering, then replays them in
+// timestamp order and evaluates the predicate after each event.
+//
+// Its accuracy limit is exactly the paper's: when two events at different
+// locations race within the clock skew, their timestamp order may differ
+// from their true order, producing false negatives (and false positives)
+// for predicate-true periods shorter than the skew bound 2ε.
+type PhysicalChecker struct {
+	n    int
+	pred predicate.Cond
+	// Slack is how long a report is buffered before replay; it must cover
+	// the maximum network delay plus ε so replay order equals timestamp
+	// order. Larger slack costs detection latency, not accuracy.
+	Slack sim.Duration
+
+	eng     *sim.Engine
+	pending reportHeap
+	applied int64
+
+	vals     []map[string]float64
+	lastTS   sim.Time
+	cur      bool
+	occ      []Occurrence
+	finished bool
+	// Reordered counts reports that arrived with a timestamp below the
+	// replay watermark and were applied out of order.
+	Reordered int64
+}
+
+// NewPhysicalChecker creates the checker; slack should be ≥ the delay
+// bound Δ plus ε.
+func NewPhysicalChecker(eng *sim.Engine, n int, pred predicate.Cond, slack sim.Duration) *PhysicalChecker {
+	c := &PhysicalChecker{
+		n: n, pred: pred, Slack: slack, eng: eng,
+		vals: make([]map[string]float64, n),
+	}
+	for i := range c.vals {
+		c.vals[i] = make(map[string]float64)
+	}
+	return c
+}
+
+// Register installs the checker on transport node idx.
+func (c *PhysicalChecker) Register(net *network.Net, idx int) {
+	net.Register(idx, func(m network.Message, now sim.Time) {
+		if rep, ok := m.Payload.(ReportMsg); ok {
+			c.OnReport(rep, now)
+		}
+	})
+}
+
+// OnReport buffers one report and schedules its replay after Slack.
+func (c *PhysicalChecker) OnReport(m ReportMsg, now sim.Time) {
+	if c.finished {
+		return
+	}
+	heap.Push(&c.pending, m)
+	c.eng.After(c.Slack, func(t sim.Time) { c.drain(t) })
+}
+
+// drain replays all buffered reports whose timestamp is at or below the
+// watermark now - Slack … any report still in flight must (absent extreme
+// delays) carry a later timestamp.
+func (c *PhysicalChecker) drain(now sim.Time) {
+	if c.finished {
+		return
+	}
+	watermark := now - c.Slack
+	for c.pending.Len() > 0 && c.pending[0].TS <= watermark {
+		c.apply(heap.Pop(&c.pending).(ReportMsg))
+	}
+}
+
+func (c *PhysicalChecker) apply(m ReportMsg) {
+	if m.Proc < 0 || m.Proc >= c.n {
+		return
+	}
+	if m.TS < c.lastTS {
+		c.Reordered++
+	} else {
+		c.lastTS = m.TS
+	}
+	c.applied++
+	c.vals[m.Proc][m.Var] = m.Value
+	settled := c.pred.Holds(checkerState{c.vals})
+	if settled != c.cur {
+		if settled {
+			c.occ = append(c.occ, Occurrence{Start: m.TS})
+		} else if len(c.occ) > 0 {
+			c.occ[len(c.occ)-1].End = m.TS
+		}
+		c.cur = settled
+	}
+}
+
+// Finish replays everything still buffered and closes an open occurrence
+// at the horizon.
+func (c *PhysicalChecker) Finish(horizon sim.Time) {
+	if c.finished {
+		return
+	}
+	for c.pending.Len() > 0 {
+		c.apply(heap.Pop(&c.pending).(ReportMsg))
+	}
+	c.finished = true
+	c.occ = closeOpen(c.occ, c.cur, horizon)
+}
+
+// Occurrences returns the detected occurrences (call Finish first).
+func (c *PhysicalChecker) Occurrences() []Occurrence { return c.occ }
+
+// Applied returns the number of reports replayed.
+func (c *PhysicalChecker) Applied() int64 { return c.applied }
+
+// reportHeap is a min-heap of reports by timestamp (FIFO per equal TS not
+// guaranteed; equal timestamps are genuinely unordered at resolution).
+type reportHeap []ReportMsg
+
+func (h reportHeap) Len() int           { return len(h) }
+func (h reportHeap) Less(i, j int) bool { return h[i].TS < h[j].TS }
+func (h reportHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *reportHeap) Push(x any)        { *h = append(*h, x.(ReportMsg)) }
+func (h *reportHeap) Pop() any {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}

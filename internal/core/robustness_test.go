@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"pervasive/internal/network"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/world"
+)
+
+// Failure-injection and edge-case tests for the detection stack.
+
+func TestDetectionUnderHeavyLoss(t *testing.T) {
+	// 30% i.i.d. strobe loss. A lost rise hides a sensor's whole pulse
+	// from the checker, and the 3-way conjunction needs all rises, so the
+	// analytic recall floor is ≈ (1-p)³ ≈ 0.34 — detection degrades
+	// gracefully to that, with no panics, deadlocks, or lingering
+	// corruption (per-proc Seq skips the gap).
+	lossy := pulseHarness(21, 3, VectorStrobe,
+		sim.WithLoss{Inner: sim.NewDeltaBounded(20 * sim.Millisecond), P: 0.3},
+		2*sim.Second, 3*sim.Second, 60*sim.Second).Run()
+	clean := pulseHarness(21, 3, VectorStrobe,
+		sim.NewDeltaBounded(20*sim.Millisecond),
+		2*sim.Second, 3*sim.Second, 60*sim.Second).Run()
+	if len(lossy.Truth) < 3 {
+		t.Skip("thin workload")
+	}
+	if r := lossy.Confusion.Recall(); r < 0.3 {
+		t.Fatalf("recall %.3f below the analytic floor (1-p)³", r)
+	}
+	if clean.Confusion.Recall() < lossy.Confusion.Recall() {
+		t.Fatalf("loss-free run (%.3f) worse than lossy (%.3f)",
+			clean.Confusion.Recall(), lossy.Confusion.Recall())
+	}
+}
+
+func TestDetectionUnderHeavyTailDelays(t *testing.T) {
+	// Pareto α=1.5 delays (infinite variance): stale strobes arrive out
+	// of order constantly; per-proc Seq ordering must keep the view sane.
+	h := pulseHarness(22, 3, VectorStrobe,
+		sim.HeavyTail{Scale: 5 * sim.Millisecond, Alpha: 1.5},
+		2*sim.Second, 3*sim.Second, 60*sim.Second)
+	res := h.Run()
+	if len(res.Truth) < 3 {
+		t.Skip("thin workload")
+	}
+	if r := res.Confusion.Recall(); r < 0.5 {
+		t.Fatalf("recall %.3f under heavy-tail delays", r)
+	}
+	if h.StrobeCk.Stale == 0 {
+		t.Log("note: no stale strobes observed — tail not exercised (seed-dependent)")
+	}
+}
+
+func TestPossiblyEndToEnd(t *testing.T) {
+	// Possibly(φ) fires at least as often as Definitely(φ) on the same
+	// workload (it is a weaker modality).
+	run := func(m predicate.Modality) int {
+		local := predicate.MustParse("p@0 == 1")
+		n := 2
+		h := NewHarness(HarnessConfig{
+			Seed: 23, N: n, Kind: VectorStrobe,
+			Delay:     sim.NewDeltaBounded(100 * sim.Millisecond),
+			Pred:      ConjunctiveGlobal(local, n),
+			LocalConj: local,
+			Modality:  m,
+			Horizon:   60 * sim.Second,
+		})
+		for i := 0; i < n; i++ {
+			obj := h.World.AddObject("obj", nil)
+			h.Bind(i, obj, "p", "p")
+			world.Toggler{Obj: obj, Attr: "p", MeanHigh: 900 * sim.Millisecond,
+				MeanLow: 1100 * sim.Millisecond}.Install(h.World, h.Cfg.Horizon)
+		}
+		return len(h.Run().Occurrences)
+	}
+	possibly := run(predicate.Possibly)
+	definitely := run(predicate.Definitely)
+	if possibly < definitely {
+		t.Fatalf("Possibly (%d) fired less than Definitely (%d)", possibly, definitely)
+	}
+	if possibly == 0 {
+		t.Fatal("Possibly never fired")
+	}
+}
+
+func TestPhysicalCheckerUnderLoss(t *testing.T) {
+	// Lost reports leave the checker's view stale for the lost variable;
+	// accuracy drops but no structural failure.
+	h := NewHarness(HarnessConfig{
+		Seed: 24, N: 2, Kind: PhysicalReport,
+		Delay:    sim.WithLoss{Inner: sim.NewDeltaBounded(5 * sim.Millisecond), P: 0.2},
+		Pred:     predicate.MustParse("x@0 == 1 && x@1 == 1"),
+		Modality: predicate.Instantaneously,
+		Epsilon:  sim.Millisecond,
+		Horizon:  60 * sim.Second,
+	})
+	for i := 0; i < 2; i++ {
+		obj := h.World.AddObject("o", nil)
+		h.Bind(i, obj, "p", "x")
+		world.Toggler{Obj: obj, Attr: "p", MeanHigh: 2 * sim.Second,
+			MeanLow: sim.Second}.Install(h.World, h.Cfg.Horizon)
+	}
+	res := h.Run()
+	if len(res.Truth) > 3 && res.Confusion.Recall() < 0.5 {
+		t.Fatalf("physical detector collapsed under 20%% loss: %+v", res.Confusion)
+	}
+}
+
+func TestScalarCheckerSeqOrdering(t *testing.T) {
+	// Scalar strobes reordered within a proc: Seq protects the view.
+	c := NewScalarChecker(1, predicate.MustParse("x@0 > 0"))
+	c.OnStrobe(StrobeMsg{Proc: 0, Seq: 3, Var: "x", Value: 3, Scalar: 3}, 30)
+	c.OnStrobe(StrobeMsg{Proc: 0, Seq: 1, Var: "x", Value: 1, Scalar: 1}, 31)
+	c.OnStrobe(StrobeMsg{Proc: 0, Seq: 2, Var: "x", Value: 2, Scalar: 2}, 32)
+	if c.View(0, "x") != 3 {
+		t.Fatalf("view %v after reordered strobes", c.View(0, "x"))
+	}
+	if c.Stale != 2 {
+		t.Fatalf("stale count %d", c.Stale)
+	}
+}
+
+func TestHarnessZeroSensorsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHarness(HarnessConfig{N: 0})
+}
+
+func TestSensorsNeedCheckerSlot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for undersized transport")
+		}
+	}()
+	eng := sim.NewEngine(1)
+	nt := newNetForTest(eng, 2) // only 2 nodes for 2 sensors + checker
+	NewSensors(eng, nt, SensorConfig{N: 2, Kind: VectorStrobe, CheckerIdx: 2})
+}
+
+// newNetForTest builds a minimal transport.
+func newNetForTest(eng *sim.Engine, n int) *network.Net {
+	return network.New(eng, network.FullMesh{Nodes: n}, sim.Synchronous{})
+}

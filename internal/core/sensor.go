@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+
+	"pervasive/internal/clock"
+	"pervasive/internal/network"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/trace"
+	"pervasive/internal/world"
+)
+
+// ClockKind selects the time-implementation option of Section 3.2.1 that a
+// sensor fleet runs.
+type ClockKind int
+
+// Supported clock kinds.
+const (
+	// VectorStrobe: strobe vector clocks (SVC1/SVC2), broadcast per event.
+	VectorStrobe ClockKind = iota
+	// ScalarStrobe: strobe scalar clocks (SSC1/SSC2), broadcast per event.
+	ScalarStrobe
+	// PhysicalReport: ε-synchronized physical clocks; sensors report
+	// timestamped events directly to the checker (no broadcast).
+	PhysicalReport
+	// DiffVectorStrobe: strobe vector clocks with Singhal–Kshemkalyani
+	// differential broadcast — semantically the vector protocol, with
+	// O(changed) instead of O(n) strobes on the wire.
+	DiffVectorStrobe
+)
+
+// String names the clock kind.
+func (k ClockKind) String() string {
+	switch k {
+	case VectorStrobe:
+		return "strobe-vector"
+	case ScalarStrobe:
+		return "strobe-scalar"
+	case DiffVectorStrobe:
+		return "strobe-diff-vector"
+	default:
+		return "physical"
+	}
+}
+
+// Sensor is one sensor/actuator process of the network plane. It observes
+// bound world-plane attributes (sense events), maintains its clock, emits
+// the protocol's control traffic, and — in conjunctive mode — tracks the
+// truth intervals of its local conjunct.
+type Sensor struct {
+	ID   int
+	Kind ClockKind
+
+	eng        *sim.Engine
+	net        *network.Net
+	checkerIdx int
+
+	vec  *clock.StrobeVector
+	sc   *clock.StrobeScalar
+	dvec *clock.DiffStrobeVector
+	phys clock.Physical
+
+	seq  int
+	vals map[string]float64
+
+	// Conjunctive-mode state: the local conjunct and its current interval.
+	localConj   predicate.Cond
+	conjOpen    bool
+	openStamp   clock.Vector
+	openAt      sim.Time
+	intervalIdx int
+
+	tr *trace.Trace // optional event trace
+
+	// StampLog accumulates (stamp, true time) per sense event for lattice
+	// analysis when enabled.
+	LogStamps bool
+	Stamps    []clock.Vector
+	Times     []sim.Time
+
+	// Local, if non-nil, is this sensor's own checker replica: since
+	// strobes are system-wide broadcasts, every sensor can evaluate the
+	// global predicate itself and actuate locally, instead of relying on
+	// the distinguished root P0. The replica consumes the sensor's own
+	// sense events immediately and remote strobes on receipt.
+	Local *StrobeChecker
+}
+
+// SensorConfig configures a sensor fleet.
+type SensorConfig struct {
+	N          int       // number of sensors
+	Kind       ClockKind // clock/protocol family
+	CheckerIdx int       // network index of the checker process P0
+	// Phys supplies each sensor's physical clock (PhysicalReport mode).
+	Phys []clock.EpsilonSynced
+	// LocalConj, if non-nil, turns on conjunctive interval tracking; the
+	// conjunct is evaluated on the sensor's own variables (its Proc index
+	// is remapped to this sensor).
+	LocalConj predicate.Cond
+	Trace     *trace.Trace
+	LogStamps bool
+}
+
+// NewSensors builds the fleet and registers each sensor's message handler
+// on the transport. The transport must have at least N+1 nodes (the extra
+// one being the checker).
+func NewSensors(eng *sim.Engine, net *network.Net, cfg SensorConfig) []*Sensor {
+	if net.N() < cfg.N+1 {
+		panic(fmt.Sprintf("core: transport has %d nodes, need %d sensors + checker",
+			net.N(), cfg.N))
+	}
+	out := make([]*Sensor, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		s := &Sensor{
+			ID: i, Kind: cfg.Kind,
+			eng: eng, net: net, checkerIdx: cfg.CheckerIdx,
+			vals:      make(map[string]float64),
+			localConj: cfg.LocalConj,
+			tr:        cfg.Trace,
+			LogStamps: cfg.LogStamps,
+		}
+		switch cfg.Kind {
+		case VectorStrobe:
+			s.vec = clock.NewStrobeVector(i, cfg.N)
+		case ScalarStrobe:
+			s.sc = &clock.StrobeScalar{}
+		case DiffVectorStrobe:
+			s.dvec = clock.NewDiffStrobeVector(i, cfg.N)
+		case PhysicalReport:
+			if i < len(cfg.Phys) {
+				s.phys = cfg.Phys[i]
+			} else {
+				s.phys = clock.EpsilonSynced{}
+			}
+		}
+		net.Register(i, s.onMessage)
+		out[i] = s
+	}
+	return out
+}
+
+// Bind subscribes the sensor to object obj's attribute attr, exposing it
+// as variable varName at this sensor's process index.
+func (s *Sensor) Bind(w *world.World, obj int, attr, varName string) {
+	w.Subscribe(obj, attr, func(ev world.Event) {
+		s.onSense(varName, ev.New)
+	})
+}
+
+// onSense handles one sense (n) event: tick the clock, emit control
+// traffic, maintain the conjunct interval.
+func (s *Sensor) onSense(varName string, value float64) {
+	now := s.eng.Now()
+	s.seq++
+	s.vals[varName] = value
+
+	var stamp clock.Vector
+	switch s.Kind {
+	case VectorStrobe:
+		stamp = s.vec.Strobe() // SVC1
+		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Var: varName, Value: value, Vec: stamp}
+		s.net.Broadcast(s.ID, msg)
+		if s.Local != nil {
+			s.Local.OnStrobe(msg, now)
+		}
+	case ScalarStrobe:
+		sv := s.sc.Strobe() // SSC1
+		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Var: varName, Value: value, Scalar: sv}
+		s.net.Broadcast(s.ID, msg)
+		if s.Local != nil {
+			s.Local.OnStrobe(msg, now)
+		}
+	case DiffVectorStrobe:
+		sparse := s.dvec.Strobe() // SVC1 with differential wire format
+		stamp = s.dvec.Snapshot()
+		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Var: varName, Value: value, Sparse: sparse}
+		s.net.Broadcast(s.ID, msg)
+		if s.Local != nil {
+			s.Local.OnStrobe(msg, now)
+		}
+	case PhysicalReport:
+		s.net.Send(s.ID, s.checkerIdx, ReportMsg{
+			Proc: s.ID, Seq: s.seq, Var: varName, Value: value,
+			TS: s.phys.Read(now),
+		})
+	}
+	if s.tr != nil {
+		s.tr.Append(trace.Record{
+			Proc: s.ID, Type: trace.Sense, At: now,
+			Attr: varName, Value: value, Vector: stamp,
+		})
+	}
+	if s.LogStamps && stamp != nil {
+		s.Stamps = append(s.Stamps, stamp)
+		s.Times = append(s.Times, now)
+	}
+	s.trackConjunct(now, stamp)
+}
+
+// trackConjunct opens/closes the local-conjunct-true interval and reports
+// closed intervals to the checker.
+func (s *Sensor) trackConjunct(now sim.Time, stamp clock.Vector) {
+	if s.localConj == nil {
+		return
+	}
+	holds := s.localConj.Holds(localState{proc: s.ID, vals: s.vals})
+	switch {
+	case holds && !s.conjOpen:
+		s.conjOpen = true
+		s.openStamp = stamp.Clone()
+		s.openAt = now
+	case !holds && s.conjOpen:
+		s.conjOpen = false
+		s.net.Send(s.ID, s.checkerIdx, IntervalMsg{
+			Proc: s.ID, Index: s.intervalIdx,
+			Open: s.openStamp, Close: stamp.Clone(),
+			OpenAt: s.openAt, CloseAt: now,
+		})
+		s.intervalIdx++
+	}
+}
+
+// FlushConjunct closes a still-open conjunct interval at the horizon so
+// trailing occurrences are reported. Call once after the run.
+func (s *Sensor) FlushConjunct(horizon sim.Time) {
+	if s.localConj == nil || !s.conjOpen {
+		return
+	}
+	s.conjOpen = false
+	var closeStamp clock.Vector
+	if s.vec != nil {
+		closeStamp = s.vec.Snapshot()
+	}
+	s.net.Send(s.ID, s.checkerIdx, IntervalMsg{
+		Proc: s.ID, Index: s.intervalIdx,
+		Open: s.openStamp, Close: closeStamp,
+		OpenAt: s.openAt, CloseAt: horizon,
+	})
+	s.intervalIdx++
+}
+
+// onMessage merges incoming strobes into the local clock (rules SVC2 /
+// SSC2). Note the receiver does not tick — the defining difference from
+// causal clocks (Section 4.2.3).
+func (s *Sensor) onMessage(m network.Message, now sim.Time) {
+	strobe, ok := m.Payload.(StrobeMsg)
+	if !ok {
+		return
+	}
+	switch s.Kind {
+	case VectorStrobe:
+		if strobe.Vec != nil {
+			s.vec.OnStrobe(strobe.Vec)
+		}
+	case ScalarStrobe:
+		s.sc.OnStrobe(strobe.Scalar)
+	case DiffVectorStrobe:
+		if strobe.Sparse != nil {
+			s.dvec.OnStrobe(strobe.Sparse)
+		}
+	}
+	if s.Local != nil {
+		s.Local.OnStrobe(strobe, now)
+	}
+	if s.tr != nil {
+		s.tr.Append(trace.Record{
+			Proc: s.ID, Type: trace.Receive, At: now, Peer: strobe.Proc,
+		})
+	}
+}
+
+// localState adapts a sensor's local variables to predicate.State; any
+// process index in the conjunct resolves to this sensor's values.
+type localState struct {
+	proc int
+	vals map[string]float64
+}
+
+// Get implements predicate.State.
+func (l localState) Get(_ int, name string) float64 { return l.vals[name] }
+
+// NumProcs implements predicate.State.
+func (l localState) NumProcs() int { return l.proc + 1 }

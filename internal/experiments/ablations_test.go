@@ -1,0 +1,137 @@
+package experiments
+
+import "testing"
+
+func TestAllAblationsRunQuick(t *testing.T) {
+	for _, e := range Ablations {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(quick())
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Fatalf("row width mismatch: %v", row)
+				}
+			}
+		})
+	}
+}
+
+func TestAblationsInByID(t *testing.T) {
+	if _, ok := ByID("a4"); !ok {
+		t.Fatal("ablation lookup failed")
+	}
+	if len(AllWithAblations()) != len(All)+len(Ablations) {
+		t.Fatal("combined registry size wrong")
+	}
+}
+
+func TestA1Shape(t *testing.T) {
+	tbl := A1BorderlinePolicy(quick())
+	posRecall := cell(t, tbl, 0, 1)
+	negRecall := cell(t, tbl, 1, 1)
+	posPrec := cell(t, tbl, 0, 2)
+	negPrec := cell(t, tbl, 1, 2)
+	if posRecall < negRecall {
+		t.Fatalf("positive policy should maximize recall: %.3f vs %.3f", posRecall, negRecall)
+	}
+	if negPrec < posPrec {
+		t.Fatalf("negative policy should maximize precision: %.3f vs %.3f", negPrec, posPrec)
+	}
+}
+
+func TestA2Shape(t *testing.T) {
+	tbl := A2RaceCriterion(quick())
+	fourFlag := cell(t, tbl, 0, 3)
+	naiveFlag := cell(t, tbl, 1, 3)
+	if naiveFlag < fourFlag {
+		t.Fatalf("naive criterion should flag at least as much: %.3f vs %.3f",
+			naiveFlag, fourFlag)
+	}
+	if cell(t, tbl, 1, 4) < cell(t, tbl, 0, 4) {
+		t.Fatalf("naive criterion should flag more correct detections: %v", tbl.Rows)
+	}
+}
+
+func TestA3Shape(t *testing.T) {
+	tbl := A3BroadcastStrategy(quick())
+	directMsgs := cell(t, tbl, 0, 1)
+	floodMsgs := cell(t, tbl, 1, 1)
+	if floodMsgs <= directMsgs {
+		t.Fatalf("flooding should cost more transmissions: %v vs %v", floodMsgs, directMsgs)
+	}
+}
+
+func TestA4Shape(t *testing.T) {
+	tbl := A4DiffCompression(quick())
+	// Find uniform n=32 and hot-spot-90% n=32 rows.
+	var uniform, hot float64
+	for i, row := range tbl.Rows {
+		if row[1] == "32" {
+			switch row[0] {
+			case "uniform":
+				uniform = cell(t, tbl, i, 5)
+			case "hot-spot 90%":
+				hot = cell(t, tbl, i, 5)
+			}
+		}
+	}
+	if uniform == 0 || hot == 0 {
+		t.Fatalf("rows missing: %v", tbl.Rows)
+	}
+	if hot >= uniform {
+		t.Fatalf("skew should compress better: hot %.3f uniform %.3f", hot, uniform)
+	}
+	if hot > 0.5 {
+		t.Fatalf("hot-spot compression too weak: %.3f", hot)
+	}
+}
+
+func TestA5Shape(t *testing.T) {
+	tbl := A5PhysicalSlack(quick())
+	smallSlackReordered := cell(t, tbl, 0, 1)
+	bigSlackReordered := cell(t, tbl, len(tbl.Rows)-1, 1)
+	if smallSlackReordered <= bigSlackReordered {
+		t.Fatalf("tiny slack should reorder more: %v vs %v",
+			smallSlackReordered, bigSlackReordered)
+	}
+	if bigSlackReordered != 0 {
+		t.Fatalf("slack above Δ should eliminate reordering: %v", bigSlackReordered)
+	}
+}
+
+func TestA6Shape(t *testing.T) {
+	tbl := A6DutyCycle(quick())
+	// Rows alternate free-running/beacon-sync per drift; the last pair is
+	// the highest drift.
+	n := len(tbl.Rows)
+	free := cell(t, tbl, n-2, 2)
+	sync := cell(t, tbl, n-1, 2)
+	if sync <= free {
+		t.Fatalf("sync should beat free-running under drift: %.3f vs %.3f", sync, free)
+	}
+	if sync < 0.9 {
+		t.Fatalf("beacon sync overlap too low: %.3f", sync)
+	}
+	// Sync costs some awake time (scans + beacons are heard awake).
+	if cell(t, tbl, n-1, 3) < cell(t, tbl, n-2, 3) {
+		t.Fatalf("sync should not reduce awake fraction: %v", tbl.Rows)
+	}
+}
+
+func TestA7Shape(t *testing.T) {
+	tbl := A7DistributedCheckers(quick())
+	zero := cell(t, tbl, 0, 1)
+	big := cell(t, tbl, len(tbl.Rows)-1, 1)
+	if zero > 0.001 {
+		t.Fatalf("Δ=0 replicas should agree almost always: divergence %.4f", zero)
+	}
+	if big <= zero {
+		t.Fatalf("divergence should grow with Δ: %.4f vs %.4f", big, zero)
+	}
+	if r := cell(t, tbl, len(tbl.Rows)-1, 4); r < 0.7 {
+		t.Fatalf("replica recall collapsed: %.3f", r)
+	}
+}

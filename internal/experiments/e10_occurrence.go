@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"pervasive/internal/core"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/world"
+)
+
+// E10EveryOccurrence reproduces §3.3's critique of prior detection
+// algorithms: "Existing literature on predicate detection, e.g., [14, 17],
+// detects only the first time the predicate becomes true and then the
+// algorithms 'hang'. We emphasize that each occurrence of the predicate
+// should be detected." A detect-once conjunctive checker is compared to
+// the every-occurrence checker on the same periodic workload.
+func E10EveryOccurrence(cfg RunConfig) *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "every-occurrence detection vs detect-once-and-hang baseline",
+		Claim: "\"each occurrence of the predicate should be detected … existing " +
+			"algorithms detect only the first time the predicate becomes true and then " +
+			"hang\" (§3.3)",
+		Header: []string{"detector", "true occurrences", "detected", "fraction"},
+	}
+	seeds := cfg.pick(5, 2)
+	horizon := sim.Time(cfg.pick(120, 40)) * sim.Second
+
+	run := func(once bool) (truth, detected int64) {
+		for s := 0; s < seeds; s++ {
+			local := predicate.MustParse("p@0 == 1")
+			n := 2
+			h := core.NewHarness(core.HarnessConfig{
+				Seed: cfg.Seed + uint64(s), N: n, Kind: core.VectorStrobe,
+				Delay:     sim.NewDeltaBounded(20 * sim.Millisecond),
+				Pred:      core.ConjunctiveGlobal(local, n),
+				LocalConj: local,
+				Modality:  predicate.Definitely,
+				Horizon:   horizon,
+			})
+			h.ConjCk.Once = once
+			for i := 0; i < n; i++ {
+				obj := h.World.AddObject("obj", nil)
+				h.Bind(i, obj, "p", "p")
+				world.Toggler{Obj: obj, Attr: "p",
+					MeanHigh: 4 * sim.Second, MeanLow: sim.Second}.Install(h.World, horizon)
+			}
+			res := h.Run()
+			truth += int64(len(res.Truth))
+			detected += int64(len(res.Occurrences))
+		}
+		return truth, detected
+	}
+
+	tr1, det1 := run(false)
+	t.AddRow("every-occurrence (this paper)", tr1, det1, ratio(det1, tr1))
+	tr2, det2 := run(true)
+	t.AddRow("detect-once baseline [14,17]", tr2, det2, ratio(det2, tr2))
+	t.Notes = append(t.Notes,
+		"expected shape: the baseline detects exactly one occurrence per run; the every-occurrence checker detects ≈ all",
+		"workload: 2 sensors with ~80% duty togglers; modality Definitely(φ₀ ∧ φ₁)")
+	return t
+}

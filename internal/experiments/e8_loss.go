@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"pervasive/internal/core"
+	"pervasive/internal/sim"
+	"pervasive/internal/world"
+)
+
+// E8LossLocalization reproduces §4.2.2's robustness claim: "A message loss
+// may result in the wrong detection of the predicate in the temporal
+// vicinity of the lost message. However, there will be no long-term ripple
+// effects of the message loss on later detection." All strobes inside a
+// window are dropped; detection quality is compared per phase against a
+// loss-free run of the same seed.
+func E8LossLocalization(cfg RunConfig) *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: "detection errors around a strobe-loss window (loss at [20s,25s))",
+		Claim: "\"A message loss may result in the wrong detection … in the temporal " +
+			"vicinity of the lost message. However, there will be no long-term ripple " +
+			"effects\" (§4.2.2)",
+		Header: []string{"phase", "true ivs", "matched(clean)", "matched(lossy)", "lost"},
+	}
+	const (
+		lossFrom = 20 * sim.Second
+		lossTo   = 25 * sim.Second
+	)
+	horizon := sim.Time(cfg.pick(80, 60)) * sim.Second
+	seeds := cfg.pick(6, 2)
+
+	type phase struct {
+		name     string
+		from, to sim.Time
+	}
+	// "vicinity" extends one Δ+refresh past the window: the checker's view
+	// of a value lost in the window heals at that sensor's next event.
+	phases := []phase{
+		{"before", 0, lossFrom},
+		{"vicinity", lossFrom, lossTo + 5*sim.Second},
+		{"after", lossTo + 5*sim.Second, horizon},
+	}
+	counts := make(map[string][3]int) // phase -> {truth, matchedClean, matchedLossy}
+
+	for s := 0; s < seeds; s++ {
+		mk := func(lossy bool) core.Results {
+			var delay sim.DelayModel = sim.NewDeltaBounded(20 * sim.Millisecond)
+			if lossy {
+				delay = sim.LossWindow{Inner: delay, From: lossFrom, To: lossTo}
+			}
+			return pulseWorkload{
+				N: 3, K: 2,
+				MeanHigh: 700 * sim.Millisecond, MeanLow: 900 * sim.Millisecond,
+				Kind: core.VectorStrobe, Delay: delay, Horizon: horizon,
+			}.run(cfg.Seed + uint64(s))
+		}
+		clean := mk(false)
+		lossy := mk(true)
+
+		matched := func(res core.Results, tv world.Interval) bool {
+			for _, o := range res.Occurrences {
+				w := world.Interval{Start: o.Start - 100*sim.Millisecond,
+					End: o.End + 100*sim.Millisecond}
+				if w.Overlap(tv) > 0 {
+					return true
+				}
+			}
+			return false
+		}
+		for _, ph := range phases {
+			c := counts[ph.name]
+			for _, tv := range clean.Truth {
+				if tv.Start < ph.from || tv.Start >= ph.to {
+					continue
+				}
+				c[0]++
+				if matched(clean, tv) {
+					c[1]++
+				}
+				if matched(lossy, tv) {
+					c[2]++
+				}
+			}
+			counts[ph.name] = c
+		}
+	}
+	for _, ph := range phases {
+		c := counts[ph.name]
+		t.AddRow(ph.name, c[0], c[1], c[2], c[1]-c[2])
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: 'lost' concentrates in the vicinity row; before/after rows match the clean run",
+		"healing is bounded: per-process Seq ordering discards nothing after the window — the next strobe of each sensor restores its value")
+	return t
+}

@@ -1,0 +1,140 @@
+// Package experiments regenerates every quantitative claim of the paper
+// as a numbered experiment (E1–E12; see DESIGN.md for the claim-to-
+// experiment mapping). Each experiment is a pure function from a run
+// configuration to a printable table; cmd/experiments and the root
+// benchmark suite share these implementations.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result, rendered as an aligned text table.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper sentence being reproduced
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
+		}
+		fmt.Fprintln(w, " ", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// RunConfig controls an experiment run. Quick shrinks sweeps and seed
+// counts so benchmarks and tests stay fast; full runs are the defaults
+// used by cmd/experiments.
+type RunConfig struct {
+	Seed  uint64
+	Quick bool
+}
+
+// pick returns quick when cfg.Quick, else full.
+func (c RunConfig) pick(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(cfg RunConfig) *Table
+}
+
+// All lists the experiments in order.
+var All = []Experiment{
+	{"E1", "strobe detection accuracy vs Δ", E1StrobeAccuracy},
+	{"E2", "physical-clock false negatives below the skew bound", E2TwoEpsilon},
+	{"E3", "slim lattice postulate", E3SlimLattice},
+	{"E4", "scalar ≡ vector strobes at Δ=0", E4ScalarVectorEquivalence},
+	{"E5", "exhibition hall borderline bin", E5ExhibitionHall},
+	{"E6", "Definitely(φ) under growing delay", E6DefinitelyUnderDelay},
+	{"E7", "strobe message overhead O(1) vs O(n)", E7MessageOverhead},
+	{"E8", "loss localization", E8LossLocalization},
+	{"E9", "clock synchronization cost and accuracy", E9ClockSyncCost},
+	{"E10", "every-occurrence vs detect-once", E10EveryOccurrence},
+	{"E11", "hidden channels defeat causality tracking", E11HiddenChannels},
+	{"E12", "strobes as causal clocks inject false causality", E12FalseCausality},
+}
+
+// ByID finds an experiment or ablation by its ID (case-insensitive).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	for _, e := range Ablations {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,155 @@
+package intervals
+
+import (
+	"testing"
+
+	"pervasive/internal/clock"
+)
+
+func TestFineRelationsAreOrthogonal(t *testing.T) {
+	rels := FineRelations()
+	if len(rels) < 10 {
+		t.Fatalf("suite suspiciously small: %d", len(rels))
+	}
+	seen := make(map[uint8]bool)
+	for i, r := range rels {
+		if r.Index != i {
+			t.Fatalf("index mismatch at %d: %+v", i, r)
+		}
+		if seen[r.Bits] {
+			t.Fatalf("duplicate bits %08b", r.Bits)
+		}
+		seen[r.Bits] = true
+		if !BitsConsistent(r.Bits) {
+			t.Fatalf("infeasible bits in suite: %08b", r.Bits)
+		}
+	}
+}
+
+func TestClassifyFineMatchesEndpointBits(t *testing.T) {
+	x := iv(0, clock.Vector{1, 0}, clock.Vector{2, 0})
+	y := iv(1, clock.Vector{2, 1}, clock.Vector{2, 3})
+	r := ClassifyFine(x, y)
+	if r.Bits != EndpointBits(x, y) {
+		t.Fatal("bits mismatch")
+	}
+	if r.Coarse() != RelPrecedes {
+		t.Fatalf("coarse projection %v", r.Coarse())
+	}
+}
+
+func TestCoarseProjectionAgreesWithClassifyPO(t *testing.T) {
+	vals := []clock.Vector{
+		{1, 0}, {2, 0}, {3, 0}, {0, 1}, {0, 2}, {0, 3},
+		{1, 1}, {2, 1}, {1, 2}, {2, 2}, {3, 2}, {2, 3},
+	}
+	for _, xs := range vals {
+		for _, xe := range vals {
+			x := iv(0, xs, xe)
+			if !x.Valid() {
+				continue
+			}
+			for _, ys := range vals {
+				for _, ye := range vals {
+					y := iv(1, ys, ye)
+					if !y.Valid() {
+						continue
+					}
+					fine := ClassifyFine(x, y).Coarse()
+					coarse := ClassifyPO(x, y)
+					if fine != coarse {
+						t.Fatalf("projection mismatch for x=%v y=%v: fine→%v classify→%v (bits %08b)",
+							x, y, fine, coarse, EndpointBits(x, y))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInverseFine(t *testing.T) {
+	x := iv(0, clock.Vector{1, 0}, clock.Vector{2, 0})
+	y := iv(1, clock.Vector{2, 1}, clock.Vector{2, 3})
+	fwd := ClassifyFine(x, y)
+	rev := ClassifyFine(y, x)
+	if InverseFine(fwd) != rev {
+		t.Fatalf("inverse mismatch: fwd=%v rev=%v inv(fwd)=%v", fwd, rev, InverseFine(fwd))
+	}
+	// Inverse is an involution over the whole suite.
+	for _, r := range FineRelations() {
+		if InverseFine(InverseFine(r)) != r {
+			t.Fatalf("inverse not involutive at %v", r)
+		}
+	}
+}
+
+func TestClassifyFineCorruptStampsFallBack(t *testing.T) {
+	// Force an infeasible pattern with inconsistent (corrupted) stamps:
+	// X.Start > X.End violates interval validity.
+	x := POInterval{Proc: 0, Start: clock.Vector{5, 0}, End: clock.Vector{1, 0}}
+	y := POInterval{Proc: 1, Start: clock.Vector{0, 1}, End: clock.Vector{0, 2}}
+	r := ClassifyFine(x, y) // must not panic
+	if !BitsConsistent(r.Bits) {
+		t.Fatal("fallback produced infeasible relation")
+	}
+}
+
+func TestSpecSpaceSize(t *testing.T) {
+	if SpecSpaceSize(1) != 0 {
+		t.Fatal("n=1 has no pairs")
+	}
+	got := SpecSpaceSize(2)
+	r := NumFineRelations()
+	if r < 62 {
+		want := (uint64(1)<<uint(r) - 1) * 1
+		if got != want {
+			t.Fatalf("spec space %d want %d", got, want)
+		}
+	} else if got != 1<<62 {
+		t.Fatal("saturation failed")
+	}
+	// Monotone in n (until saturation).
+	if SpecSpaceSize(3) < SpecSpaceSize(2) {
+		t.Fatal("not monotone")
+	}
+}
+
+func TestSuiteCoversAllRealizedPatterns(t *testing.T) {
+	// Every pattern realizable by actual vector-stamped intervals is in
+	// the suite, and conversely every coarse class is realized.
+	vals := []clock.Vector{
+		{1, 0}, {2, 0}, {3, 0}, {0, 1}, {0, 2}, {0, 3},
+		{1, 1}, {2, 1}, {1, 2}, {2, 2}, {3, 2}, {2, 3}, {3, 3},
+	}
+	realized := make(map[uint8]bool)
+	coarse := make(map[Relation]bool)
+	for _, xs := range vals {
+		for _, xe := range vals {
+			x := iv(0, xs, xe)
+			if !x.Valid() {
+				continue
+			}
+			for _, ys := range vals {
+				for _, ye := range vals {
+					y := iv(1, ys, ye)
+					if !y.Valid() {
+						continue
+					}
+					r := ClassifyFine(x, y)
+					realized[r.Bits] = true
+					coarse[r.Coarse()] = true
+				}
+			}
+		}
+	}
+	for bits := range realized {
+		if _, ok := feasibleIndex[bits]; !ok {
+			t.Fatalf("realized pattern %08b missing from suite", bits)
+		}
+	}
+	if len(coarse) != 4 {
+		t.Fatalf("coarse classes realized: %v", coarse)
+	}
+	t.Logf("suite size %d; realized %d patterns with this stamp alphabet",
+		NumFineRelations(), len(realized))
+}

@@ -1,0 +1,160 @@
+package intervals
+
+import (
+	"testing"
+
+	"pervasive/internal/clock"
+)
+
+// iv builds a POInterval from literal vectors.
+func iv(proc int, start, end clock.Vector) POInterval {
+	return POInterval{Proc: proc, Start: start, End: end}
+}
+
+func TestPrecedes(t *testing.T) {
+	// x entirely causally precedes y.
+	x := iv(0, clock.Vector{1, 0}, clock.Vector{2, 0})
+	y := iv(1, clock.Vector{2, 1}, clock.Vector{2, 3})
+	if !Precedes(x, y) || Precedes(y, x) {
+		t.Fatal("precedence misreported")
+	}
+	if PossiblyOverlap(x, y) {
+		t.Fatal("wholly ordered intervals cannot possibly overlap")
+	}
+	if ClassifyPO(x, y) != RelPrecedes || ClassifyPO(y, x) != RelPrecededBy {
+		t.Fatal("classification wrong")
+	}
+}
+
+func TestPossiblyButNotDefinitely(t *testing.T) {
+	// Two intervals on independent processes with no communication:
+	// concurrent endpoints — possibly overlap, but not definitely.
+	x := iv(0, clock.Vector{1, 0}, clock.Vector{2, 0})
+	y := iv(1, clock.Vector{0, 1}, clock.Vector{0, 2})
+	if !PossiblyOverlap(x, y) {
+		t.Fatal("independent intervals should possibly overlap")
+	}
+	if DefinitelyOverlap(x, y) {
+		t.Fatal("independent intervals must not definitely overlap")
+	}
+	if ClassifyPO(x, y) != RelPossiblyOverlap {
+		t.Fatal("classification wrong")
+	}
+}
+
+func TestDefinitelyOverlap(t *testing.T) {
+	// Cross communication: x starts before y ends and vice versa.
+	// x = [ (1,0) .. (3,2) ], y = [ (0,1) .. (2,3) ] with message exchange.
+	x := iv(0, clock.Vector{1, 0}, clock.Vector{3, 2})
+	y := iv(1, clock.Vector{0, 1}, clock.Vector{2, 3})
+	if !DefinitelyOverlap(x, y) {
+		t.Fatal("cross-linked intervals should definitely overlap")
+	}
+	if ClassifyPO(x, y) != RelDefinitelyOverlap {
+		t.Fatal("classification wrong")
+	}
+	// Definitely implies possibly.
+	if !PossiblyOverlap(x, y) {
+		t.Fatal("definitely-overlap must imply possibly-overlap")
+	}
+}
+
+func TestValid(t *testing.T) {
+	good := iv(0, clock.Vector{1, 0}, clock.Vector{2, 0})
+	if !good.Valid() {
+		t.Fatal("valid interval rejected")
+	}
+	pointwise := iv(0, clock.Vector{1, 0}, clock.Vector{1, 0})
+	if !pointwise.Valid() {
+		t.Fatal("degenerate interval should be valid")
+	}
+	bad := iv(0, clock.Vector{2, 0}, clock.Vector{1, 0})
+	if bad.Valid() {
+		t.Fatal("reversed interval accepted")
+	}
+}
+
+func TestEndpointBits(t *testing.T) {
+	x := iv(0, clock.Vector{1, 0}, clock.Vector{2, 0})
+	y := iv(1, clock.Vector{2, 1}, clock.Vector{2, 3})
+	bits := EndpointBits(x, y)
+	// x wholly precedes y: all four x→y bits set, no y→x bits.
+	if bits != 0b00001111 {
+		t.Fatalf("bits = %08b", bits)
+	}
+	if !BitsConsistent(bits) {
+		t.Fatal("real execution produced inconsistent bits")
+	}
+}
+
+func TestEndpointBitsConcurrent(t *testing.T) {
+	x := iv(0, clock.Vector{1, 0}, clock.Vector{2, 0})
+	y := iv(1, clock.Vector{0, 1}, clock.Vector{0, 2})
+	if bits := EndpointBits(x, y); bits != 0 {
+		t.Fatalf("independent intervals produced bits %08b", bits)
+	}
+	if !BitsConsistent(0) {
+		t.Fatal("all-concurrent bits should be consistent")
+	}
+}
+
+func TestBitsConsistentRejectsCycles(t *testing.T) {
+	// xS→yS together with yS→xS is a causal cycle.
+	if BitsConsistent(1<<0 | 1<<4) {
+		t.Fatal("cyclic bits accepted")
+	}
+	// xE→yS without the implied xS→yS.
+	if BitsConsistent(1 << 2) {
+		t.Fatal("closure-violating bits accepted")
+	}
+}
+
+func TestAllRealizedBitsAreConsistent(t *testing.T) {
+	// Enumerate interval pairs over small vector values and confirm every
+	// realized bit pattern passes the consistency predicate, and count the
+	// distinct patterns (the raw material of the fine-grained relations).
+	vals := []clock.Vector{
+		{1, 0}, {2, 0}, {3, 0}, {0, 1}, {0, 2}, {0, 3},
+		{1, 1}, {2, 1}, {1, 2}, {2, 2}, {3, 2}, {2, 3},
+	}
+	patterns := make(map[uint8]bool)
+	for _, xs := range vals {
+		for _, xe := range vals {
+			x := iv(0, xs, xe)
+			if !x.Valid() {
+				continue
+			}
+			for _, ys := range vals {
+				for _, ye := range vals {
+					y := iv(1, ys, ye)
+					if !y.Valid() {
+						continue
+					}
+					bits := EndpointBits(x, y)
+					if !BitsConsistent(bits) {
+						t.Fatalf("realized inconsistent bits %08b for x=%v y=%v",
+							bits, x, y)
+					}
+					patterns[bits] = true
+				}
+			}
+		}
+	}
+	if len(patterns) < 10 {
+		t.Fatalf("only %d distinct endpoint patterns realized; expected a rich set", len(patterns))
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	names := map[Relation]string{
+		RelPrecedes:          "precedes",
+		RelPrecededBy:        "preceded-by",
+		RelDefinitelyOverlap: "definitely-overlap",
+		RelPossiblyOverlap:   "possibly-overlap",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Fatalf("%d.String() = %q", r, r.String())
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package live is the second execution engine: instead of the
+// deterministic discrete-event simulator, every sensor process is a real
+// goroutine and every link delivery is a timer-delayed channel send — the
+// natural Go realization of the paper's asynchronous message-passing
+// system model (Section 2). The strobe protocols and the checker logic
+// are shared with the DES engine (package core); only the substrate
+// differs.
+//
+// Virtual time in live mode is wall-clock microseconds since Start. Runs
+// are not bit-reproducible (goroutine scheduling and real timers are not),
+// so tests and examples use workloads with wide margins; the DES engine is
+// the reproducible harness for experiments.
+package live
+
+import (
+	"sync"
+	"time"
+
+	"pervasive/internal/clock"
+	"pervasive/internal/core"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/stats"
+	"pervasive/internal/world"
+)
+
+// Config assembles a live sensor network.
+type Config struct {
+	N    int
+	Seed uint64
+	Kind core.ClockKind // VectorStrobe or ScalarStrobe
+	// Delay is sampled per link message; virtual µs are wall µs.
+	Delay sim.DelayModel
+	// Pred is the global predicate detected under Instantaneously.
+	Pred predicate.Cond
+	// Buffer is each node's mailbox capacity (default 1024).
+	Buffer int
+}
+
+// Network is a running live sensor network.
+type Network struct {
+	cfg   Config
+	nodes []*Node
+
+	checkerMu sync.Mutex
+	checker   *core.StrobeChecker
+
+	delayMu sync.Mutex
+	rng     *stats.RNG
+
+	start time.Time
+
+	truthMu sync.Mutex
+	truth   []world.Event
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	sentMu sync.Mutex
+	sent   int64
+	bytes  int64
+}
+
+// Node is one goroutine-backed sensor process.
+type Node struct {
+	ID  int
+	nw  *Network
+	in  chan core.StrobeMsg
+	cmd chan senseCmd
+
+	// clock state is owned by the node's goroutine
+	vec *clock.StrobeVector
+	sc  *clock.StrobeScalar
+	seq int
+}
+
+type senseCmd struct {
+	varName string
+	value   float64
+}
+
+// Start builds and starts the network; every node's goroutine begins
+// consuming its mailbox immediately.
+func Start(cfg Config) *Network {
+	if cfg.N <= 0 {
+		panic("live: need at least one node")
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = sim.Synchronous{}
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1024
+	}
+	if cfg.Kind != core.VectorStrobe && cfg.Kind != core.ScalarStrobe {
+		panic("live: engine supports strobe clock kinds only")
+	}
+	nw := &Network{
+		cfg:   cfg,
+		rng:   stats.NewRNG(cfg.Seed),
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	if cfg.Kind == core.VectorStrobe {
+		nw.checker = core.NewVectorChecker(cfg.N, cfg.Pred)
+	} else {
+		nw.checker = core.NewScalarChecker(cfg.N, cfg.Pred)
+	}
+	for i := 0; i < cfg.N; i++ {
+		n := &Node{
+			ID: i, nw: nw,
+			in:  make(chan core.StrobeMsg, cfg.Buffer),
+			cmd: make(chan senseCmd, cfg.Buffer),
+		}
+		if cfg.Kind == core.VectorStrobe {
+			n.vec = clock.NewStrobeVector(i, cfg.N)
+		} else {
+			n.sc = &clock.StrobeScalar{}
+		}
+		nw.nodes = append(nw.nodes, n)
+	}
+	for _, n := range nw.nodes {
+		nw.wg.Add(1)
+		go n.loop()
+	}
+	return nw
+}
+
+// Now returns the network's virtual time (µs since Start).
+func (nw *Network) Now() sim.Time {
+	return sim.Time(time.Since(nw.start).Microseconds())
+}
+
+// Node returns node i.
+func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
+
+// Sense injects a sense event at the node: its goroutine ticks the clock,
+// broadcasts the strobe, and the ground-truth log records the true time.
+func (n *Node) Sense(varName string, value float64) {
+	n.nw.recordTruth(n.ID, varName, value)
+	select {
+	case n.cmd <- senseCmd{varName: varName, value: value}:
+	case <-n.nw.done:
+	}
+}
+
+func (nw *Network) recordTruth(proc int, varName string, value float64) {
+	nw.truthMu.Lock()
+	defer nw.truthMu.Unlock()
+	nw.truth = append(nw.truth, world.Event{
+		Seq: len(nw.truth), At: nw.Now(),
+		Object: proc, Attr: varName, New: value, Cause: world.NoCause,
+	})
+}
+
+// loop is the node goroutine: it serializes sense commands and incoming
+// strobes, owning the node's clock without locks — share memory by
+// communicating.
+func (n *Node) loop() {
+	defer n.nw.wg.Done()
+	for {
+		select {
+		case <-n.nw.done:
+			return
+		case cmd := <-n.cmd:
+			n.onSense(cmd)
+		case m := <-n.in:
+			n.onStrobe(m)
+		}
+	}
+}
+
+func (n *Node) onSense(cmd senseCmd) {
+	n.seq++
+	msg := core.StrobeMsg{Proc: n.ID, Seq: n.seq, Var: cmd.varName, Value: cmd.value}
+	if n.vec != nil {
+		msg.Vec = n.vec.Strobe() // SVC1
+	} else {
+		msg.Scalar = n.sc.Strobe() // SSC1
+	}
+	n.nw.broadcast(n.ID, msg)
+}
+
+func (n *Node) onStrobe(m core.StrobeMsg) {
+	if n.vec != nil && m.Vec != nil {
+		n.vec.OnStrobe(m.Vec) // SVC2
+	} else if n.sc != nil && m.Vec == nil {
+		n.sc.OnStrobe(m.Scalar) // SSC2
+	}
+}
+
+// broadcast delivers the strobe to every other node and the checker, each
+// copy after an independently sampled delay.
+func (nw *Network) broadcast(src int, m core.StrobeMsg) {
+	for _, peer := range nw.nodes {
+		if peer.ID == src {
+			continue
+		}
+		peer := peer
+		d, dropped := nw.sampleDelay(src, peer.ID)
+		nw.count(m)
+		if dropped {
+			continue
+		}
+		time.AfterFunc(d.Std(), func() {
+			select {
+			case peer.in <- m:
+			case <-nw.done:
+			}
+		})
+	}
+	// checker copy
+	d, dropped := nw.sampleDelay(src, nw.cfg.N)
+	nw.count(m)
+	if dropped {
+		return
+	}
+	time.AfterFunc(d.Std(), func() {
+		select {
+		case <-nw.done:
+			return
+		default:
+		}
+		nw.checkerMu.Lock()
+		defer nw.checkerMu.Unlock()
+		nw.checker.OnStrobe(m, nw.Now())
+	})
+}
+
+func (nw *Network) sampleDelay(src, dst int) (sim.Duration, bool) {
+	nw.delayMu.Lock()
+	defer nw.delayMu.Unlock()
+	return sim.SampleDelay(nw.cfg.Delay, nw.rng, nw.Now(), src, dst)
+}
+
+func (nw *Network) count(m core.StrobeMsg) {
+	nw.sentMu.Lock()
+	nw.sent++
+	nw.bytes += int64(m.WireSize())
+	nw.sentMu.Unlock()
+}
+
+// Results of a live run.
+type Results struct {
+	Occurrences []core.Occurrence
+	Markers     []sim.Time
+	Truth       []world.Interval
+	Confusion   stats.Confusion
+	Horizon     sim.Time
+	Sent        int64
+	Bytes       int64
+}
+
+// Stop shuts the network down after draining in-flight deliveries for the
+// settle duration, finishes the checker, and scores against the recorded
+// ground truth with tolerance tol.
+func (nw *Network) Stop(settle time.Duration, tol sim.Duration) Results {
+	time.Sleep(settle)
+	horizon := nw.Now()
+	nw.stopOnce.Do(func() { close(nw.done) })
+	nw.wg.Wait()
+
+	nw.checkerMu.Lock()
+	nw.checker.Finish(horizon)
+	occ := nw.checker.Occurrences()
+	markers := nw.checker.Markers()
+	nw.checkerMu.Unlock()
+
+	nw.truthMu.Lock()
+	log := append([]world.Event(nil), nw.truth...)
+	nw.truthMu.Unlock()
+
+	res := Results{
+		Occurrences: occ, Markers: markers, Horizon: horizon,
+	}
+	nw.sentMu.Lock()
+	res.Sent, res.Bytes = nw.sent, nw.bytes
+	nw.sentMu.Unlock()
+
+	if nw.cfg.Pred != nil {
+		pred := func(get func(obj int, attr string) float64) bool {
+			return nw.cfg.Pred.Holds(liveState{n: nw.cfg.N, get: get})
+		}
+		res.Truth = world.TrueIntervals(log, pred, horizon)
+		res.Confusion = core.Score(occ, res.Truth, markers, tol, horizon)
+	}
+	return res
+}
+
+// liveState adapts the truth log convention (object index == proc index)
+// to predicate.State.
+type liveState struct {
+	n   int
+	get func(obj int, attr string) float64
+}
+
+// Get implements predicate.State.
+func (s liveState) Get(proc int, name string) float64 { return s.get(proc, name) }
+
+// NumProcs implements predicate.State.
+func (s liveState) NumProcs() int { return s.n }

@@ -1,0 +1,102 @@
+package mac
+
+import (
+	"testing"
+
+	"pervasive/internal/sim"
+)
+
+func TestAlignedNoDriftStaysAligned(t *testing.T) {
+	res := Run(Config{
+		N: 6, Seed: 1, Period: sim.Second, Window: 100 * sim.Millisecond,
+		DriftPPM: 0, Sync: false, Horizon: 5 * sim.Minute,
+	})
+	if res.Overlap < 0.99 {
+		t.Fatalf("drift-free aligned timers lost alignment: overlap %.3f", res.Overlap)
+	}
+	if res.Beacons != 0 {
+		t.Fatal("sync disabled but beacons sent")
+	}
+}
+
+func TestDriftDestroysRendezvousWithoutSync(t *testing.T) {
+	// ±80 ppm over 30 minutes slides timers by ~±145 ms — beyond the
+	// 100 ms window; unsynchronized overlap collapses.
+	res := Run(Config{
+		N: 6, Seed: 2, Period: sim.Second, Window: 100 * sim.Millisecond,
+		DriftPPM: 80, Sync: false, Horizon: 30 * sim.Minute,
+	})
+	if res.Overlap > 0.6 {
+		t.Fatalf("drift should destroy rendezvous: overlap %.3f", res.Overlap)
+	}
+}
+
+func TestSyncRestoresRendezvousUnderDrift(t *testing.T) {
+	cfg := Config{
+		N: 6, Seed: 2, Period: sim.Second, Window: 100 * sim.Millisecond,
+		DriftPPM: 80, Horizon: 30 * sim.Minute,
+	}
+	cfg.Sync = false
+	unsynced := Run(cfg)
+	cfg.Sync = true
+	synced := Run(cfg)
+	if synced.Overlap < 0.9 {
+		t.Fatalf("beacon sync failed: overlap %.3f", synced.Overlap)
+	}
+	if synced.Overlap <= unsynced.Overlap {
+		t.Fatalf("sync (%.3f) not better than free-running (%.3f)",
+			synced.Overlap, unsynced.Overlap)
+	}
+	if synced.Beacons == 0 {
+		t.Fatal("sync ran without beacons")
+	}
+}
+
+func TestSyncPullsRandomPhasesTogether(t *testing.T) {
+	// Nodes start at random phases across the whole period; periodic
+	// full-period listen scans let nodes hear beacons outside their
+	// window and converge to the earliest phase.
+	cfg := Config{
+		N: 5, Seed: 3, Period: sim.Second, Window: 300 * sim.Millisecond,
+		DriftPPM: 20, MaxPhase: sim.Second, Horizon: 20 * sim.Minute,
+		ScanEvery: 8,
+	}
+	cfg.Sync = true
+	synced := Run(cfg)
+	cfg.Sync = false
+	unsynced := Run(cfg)
+	if synced.Overlap <= unsynced.Overlap {
+		t.Fatalf("sync (%.3f) not better than free-running (%.3f) from random phases",
+			synced.Overlap, unsynced.Overlap)
+	}
+	if synced.Overlap < 0.7 {
+		t.Fatalf("random phases did not converge: %.3f", synced.Overlap)
+	}
+}
+
+func TestWakeCountsMatchPeriods(t *testing.T) {
+	res := Run(Config{
+		N: 4, Seed: 4, Period: sim.Second, Window: 50 * sim.Millisecond,
+		Horizon: sim.Minute,
+	})
+	// ~60 wakes per node.
+	perNode := float64(res.Wakes) / 4
+	if perNode < 55 || perNode > 65 {
+		t.Fatalf("wakes per node %.1f, want ~60", perNode)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	res := Run(Config{Seed: 5, Horizon: 30 * sim.Second})
+	if res.Wakes == 0 {
+		t.Fatal("defaults produced no wakes")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{N: 5, Seed: 6, DriftPPM: 50, Sync: true, Horizon: 2 * sim.Minute}
+	a, b := Run(cfg), Run(cfg)
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

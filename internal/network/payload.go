@@ -1,0 +1,20 @@
+package network
+
+// Raw is a generic payload with an explicit size and kind, used by tests,
+// the clock-sync protocols, and microbenchmarks.
+type Raw struct {
+	K    string
+	Size int
+	Data any
+}
+
+// WireSize implements Payload.
+func (r Raw) WireSize() int { return r.Size }
+
+// Kind implements Payload.
+func (r Raw) Kind() string {
+	if r.K == "" {
+		return "raw"
+	}
+	return r.K
+}

@@ -1,0 +1,177 @@
+package network
+
+import (
+	"pervasive/internal/sim"
+	"pervasive/internal/stats"
+)
+
+// Payload is the content of a network-plane message. WireSize is the
+// payload's on-air size in bytes, used by the overhead experiments (E7);
+// Kind is a short tag for traces and per-kind statistics.
+type Payload interface {
+	WireSize() int
+	Kind() string
+}
+
+// Message is one network-plane message in flight or delivered.
+type Message struct {
+	ID      uint64 // unique per logical send/broadcast (shared by flood copies)
+	Src     int    // originating process
+	From    int    // previous hop (== Src for direct delivery)
+	Dst     int    // destination process
+	SentAt  sim.Time
+	Hops    int
+	Payload Payload
+}
+
+// Handler receives delivered messages at a process.
+type Handler func(m Message, now sim.Time)
+
+// Stats accumulates transport-level counters.
+type Stats struct {
+	Sent      int64 // link-level transmissions attempted
+	Delivered int64
+	Dropped   int64
+	Bytes     int64 // payload bytes transmitted (per link-level send)
+	ByKind    map[string]int64
+}
+
+// Net is the message transport of the network plane. It is not safe for
+// concurrent use; it belongs to the single-threaded DES.
+type Net struct {
+	eng   *sim.Engine
+	topo  Topology
+	delay sim.DelayModel
+	rng   *stats.RNG
+
+	handlers []Handler
+	nextID   uint64
+
+	// Flood selects hop-by-hop flooding over the overlay for Broadcast;
+	// when false, Broadcast sends one direct logical message per peer.
+	Flood bool
+	// HeaderBytes is the fixed per-message header size added to every
+	// link-level transmission's byte count.
+	HeaderBytes int
+
+	seen []map[uint64]bool // per-process flood duplicate suppression
+
+	Stats Stats
+}
+
+// New creates a transport over the topology with the given delay model.
+func New(eng *sim.Engine, topo Topology, delay sim.DelayModel) *Net {
+	n := topo.N()
+	nt := &Net{
+		eng: eng, topo: topo, delay: delay,
+		rng:         eng.RNG().Fork(),
+		handlers:    make([]Handler, n),
+		seen:        make([]map[uint64]bool, n),
+		HeaderBytes: 8,
+	}
+	nt.Stats.ByKind = make(map[string]int64)
+	for i := range nt.seen {
+		nt.seen[i] = make(map[uint64]bool)
+	}
+	return nt
+}
+
+// N returns the number of processes.
+func (nt *Net) N() int { return len(nt.handlers) }
+
+// Register installs the delivery handler for process i (replacing any
+// previous handler).
+func (nt *Net) Register(i int, h Handler) { nt.handlers[i] = h }
+
+// Delay returns the transport's delay model.
+func (nt *Net) Delay() sim.DelayModel { return nt.delay }
+
+// SetDelay replaces the delay model (useful for mid-run degradation
+// experiments).
+func (nt *Net) SetDelay(d sim.DelayModel) { nt.delay = d }
+
+// Send transmits p from src to dst as one logical (direct) message,
+// regardless of overlay links; use for checker traffic where L is assumed
+// routable. It returns the message ID.
+func (nt *Net) Send(src, dst int, p Payload) uint64 {
+	id := nt.newID()
+	nt.transmit(Message{ID: id, Src: src, From: src, Dst: dst, SentAt: nt.eng.Now(), Payload: p})
+	return id
+}
+
+// Broadcast implements the strobe protocols' System-wide_Broadcast: p is
+// delivered to every process except src. With Flood unset each peer gets
+// an independent direct transmission; with Flood set the message floods
+// hop-by-hop over the overlay with duplicate suppression. It returns the
+// message ID.
+func (nt *Net) Broadcast(src int, p Payload) uint64 {
+	id := nt.newID()
+	now := nt.eng.Now()
+	if nt.Flood {
+		nt.seen[src][id] = true
+		nt.relay(Message{ID: id, Src: src, From: src, SentAt: now, Payload: p})
+		return id
+	}
+	for dst := 0; dst < nt.N(); dst++ {
+		if dst != src {
+			nt.transmit(Message{ID: id, Src: src, From: src, Dst: dst, SentAt: now, Payload: p})
+		}
+	}
+	return id
+}
+
+func (nt *Net) newID() uint64 {
+	nt.nextID++
+	return nt.nextID
+}
+
+// transmit schedules one link-level transmission.
+func (nt *Net) transmit(m Message) {
+	nt.Stats.Sent++
+	nt.Stats.Bytes += int64(m.Payload.WireSize() + nt.HeaderBytes)
+	nt.Stats.ByKind[m.Payload.Kind()]++
+	d, dropped := sim.SampleDelay(nt.delay, nt.rng, nt.eng.Now(), m.From, m.Dst)
+	if dropped {
+		nt.Stats.Dropped++
+		return
+	}
+	nt.eng.After(d, func(now sim.Time) { nt.deliver(m, now) })
+}
+
+func (nt *Net) deliver(m Message, now sim.Time) {
+	nt.Stats.Delivered++
+	if h := nt.handlers[m.Dst]; h != nil {
+		h(m, now)
+	}
+}
+
+// relay floods m from m.From to all current neighbours that have not seen
+// the message. Receivers both consume and re-relay.
+func (nt *Net) relay(m Message) {
+	for _, j := range nt.topo.Neighbors(m.From) {
+		if nt.seen[j][m.ID] {
+			continue
+		}
+		hop := m
+		hop.Dst = j
+		hop.Hops = m.Hops + 1
+		nt.Stats.Sent++
+		nt.Stats.Bytes += int64(hop.Payload.WireSize() + nt.HeaderBytes)
+		nt.Stats.ByKind[hop.Payload.Kind()]++
+		d, dropped := sim.SampleDelay(nt.delay, nt.rng, nt.eng.Now(), hop.From, hop.Dst)
+		if dropped {
+			nt.Stats.Dropped++
+			continue
+		}
+		nt.eng.After(d, func(now sim.Time) {
+			if nt.seen[hop.Dst][hop.ID] {
+				return // duplicate arrived first via another path
+			}
+			nt.seen[hop.Dst][hop.ID] = true
+			nt.deliver(hop, now)
+			next := hop
+			next.From = hop.Dst
+			nt.relay(next)
+		})
+	}
+}

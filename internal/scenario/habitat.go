@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"fmt"
+
+	"pervasive/internal/core"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/world"
+)
+
+// HabitatConfig parameterizes an in-the-wild habitat-monitoring
+// deployment — the paper's motivating regime for strobe clocks: no
+// physically synchronized clock service is available or affordable, and
+// lifeform movement is slow relative to Δ. Sensors at waterholes detect
+// animal presence; the predicate is "at least K waterholes occupied at the
+// same instant" (e.g. herd congregation).
+type HabitatConfig struct {
+	Seed       uint64
+	Waterholes int
+	K          int // congregation threshold
+	// MeanVisit/MeanAbsence shape animal presence at each waterhole; in
+	// the wild both are long relative to Δ.
+	MeanVisit   sim.Duration
+	MeanAbsence sim.Duration
+	Kind        core.ClockKind
+	Delay       sim.DelayModel
+	Horizon     sim.Time
+}
+
+func (c *HabitatConfig) fill() {
+	if c.Waterholes <= 0 {
+		c.Waterholes = 5
+	}
+	if c.K <= 0 {
+		c.K = 2
+	}
+	if c.MeanVisit <= 0 {
+		c.MeanVisit = 2 * sim.Minute
+	}
+	if c.MeanAbsence <= 0 {
+		c.MeanAbsence = 3 * sim.Minute
+	}
+	if c.Delay == nil {
+		// Multi-hop wild-area network: delays of hundreds of ms to s.
+		c.Delay = sim.NewDeltaBounded(2 * sim.Second)
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = sim.Hour
+	}
+}
+
+// Habitat is a wired habitat-monitoring scenario.
+type Habitat struct {
+	Cfg     HabitatConfig
+	Harness *core.Harness
+}
+
+// NewHabitat wires the scenario.
+func NewHabitat(cfg HabitatConfig) *Habitat {
+	cfg.fill()
+	pred := predicate.MustParse(fmt.Sprintf("sum(present) >= %d", cfg.K))
+	h := core.NewHarness(core.HarnessConfig{
+		Seed: cfg.Seed, N: cfg.Waterholes, Kind: cfg.Kind, Delay: cfg.Delay,
+		Pred: pred, Modality: predicate.Instantaneously, Horizon: cfg.Horizon,
+	})
+	for i := 0; i < cfg.Waterholes; i++ {
+		wh := h.World.AddObject(fmt.Sprintf("waterhole-%d", i), nil)
+		h.Bind(i, wh, "present", "present")
+		world.Toggler{Obj: wh, Attr: "present",
+			MeanHigh: cfg.MeanVisit, MeanLow: cfg.MeanAbsence}.Install(h.World, cfg.Horizon)
+	}
+	return &Habitat{Cfg: cfg, Harness: h}
+}
+
+// Run executes the scenario.
+func (hb *Habitat) Run() core.Results { return hb.Harness.Run() }

@@ -1,0 +1,138 @@
+// Package scenario builds the paper's application scenarios (Section 5)
+// on top of the detection harness: the convention-center exhibition hall,
+// the hospital ward, the smart office of Sections 3.1/3.3, and an
+// in-the-wild habitat-monitoring deployment. Each builder returns a wired
+// core.Harness ready to Run, so examples, the CLI, and the experiment
+// suite share one implementation.
+package scenario
+
+import (
+	"fmt"
+
+	"pervasive/internal/core"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/stats"
+	"pervasive/internal/trace"
+	"pervasive/internal/world"
+)
+
+// HallConfig parameterizes the exhibition-hall occupancy monitor: d doors,
+// each with an RFID sensor tracking xᵢ (people entered through door i) and
+// yᵢ (people left through it); the predicate is Σ(xᵢ−yᵢ) > Capacity,
+// detected under Instantaneously to prevent overcrowding.
+type HallConfig struct {
+	Seed     uint64
+	Doors    int
+	Capacity int
+	// MeanArrival is the mean gap between visitor arrivals; MeanStay is a
+	// visitor's mean dwell time inside the hall.
+	MeanArrival sim.Duration
+	MeanStay    sim.Duration
+	Kind        core.ClockKind
+	Delay       sim.DelayModel
+	Epsilon     sim.Duration // PhysicalReport only
+	Horizon     sim.Time
+	// InitialOccupancy seeds the hall with visitors already inside
+	// (spread across doors' entry counters) so runs start near capacity.
+	InitialOccupancy int
+	// Trace, if non-nil, records every sensor event (for cmd/tracedump).
+	Trace *trace.Trace
+}
+
+func (c *HallConfig) fill() {
+	if c.Doors <= 0 {
+		c.Doors = 4
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 200
+	}
+	if c.MeanArrival <= 0 {
+		c.MeanArrival = 500 * sim.Millisecond
+	}
+	if c.MeanStay <= 0 {
+		c.MeanStay = 100 * sim.Second
+	}
+	if c.Delay == nil {
+		c.Delay = sim.NewDeltaBounded(100 * sim.Millisecond)
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 5 * sim.Minute
+	}
+}
+
+// Hall is a wired exhibition-hall scenario.
+type Hall struct {
+	Cfg     HallConfig
+	Harness *core.Harness
+	// Doors[i] is the world object of door i (attributes "x" and "y").
+	Doors []int
+}
+
+// OccupancyPredicate returns Σx − Σy > capacity.
+func OccupancyPredicate(capacity int) predicate.Cond {
+	return predicate.MustParse(fmt.Sprintf("sum(x) - sum(y) > %d", capacity))
+}
+
+// NewHall wires the scenario: one sensor per door, Poisson visitor flow
+// with occupancy-dependent departures.
+func NewHall(cfg HallConfig) *Hall {
+	cfg.fill()
+	h := core.NewHarness(core.HarnessConfig{
+		Seed: cfg.Seed, N: cfg.Doors, Kind: cfg.Kind, Delay: cfg.Delay,
+		Pred:     OccupancyPredicate(cfg.Capacity),
+		Modality: predicate.Instantaneously,
+		Epsilon:  cfg.Epsilon,
+		Horizon:  cfg.Horizon,
+		Trace:    cfg.Trace,
+	})
+	hall := &Hall{Cfg: cfg, Harness: h}
+	for i := 0; i < cfg.Doors; i++ {
+		door := h.World.AddObject(fmt.Sprintf("door-%d", i), nil)
+		hall.Doors = append(hall.Doors, door)
+		h.Bind(i, door, "x", "x")
+		h.Bind(i, door, "y", "y")
+	}
+	hall.installTraffic()
+	return hall
+}
+
+// installTraffic drives the visitor flow. Occupancy state lives in the
+// closure; every entry/exit picks a door uniformly at random, so
+// concurrent traffic through different doors creates exactly the race the
+// paper describes.
+func (hl *Hall) installTraffic() {
+	h := hl.Harness
+	r := h.Eng.RNG().Fork()
+	occupancy := 0
+
+	enter := func(now sim.Time) {
+		door := hl.Doors[r.Intn(len(hl.Doors))]
+		occupancy++
+		h.World.Add(door, "x", 1)
+		// Schedule this visitor's departure.
+		stay := sim.Duration(stats.Exponential{MeanV: float64(hl.Cfg.MeanStay)}.Sample(r))
+		if stay < 1 {
+			stay = 1
+		}
+		if now+stay <= hl.Cfg.Horizon {
+			h.Eng.At(now+stay, func(sim.Time) {
+				occupancy--
+				out := hl.Doors[r.Intn(len(hl.Doors))]
+				h.World.Add(out, "y", 1)
+			})
+		}
+	}
+
+	// Seed initial occupancy during a one-second ramp-up so the seeding
+	// events are ordinary (non-simultaneous) entries.
+	for k := 0; k < hl.Cfg.InitialOccupancy; k++ {
+		at := 1 + sim.Time(k)*sim.Second/sim.Time(hl.Cfg.InitialOccupancy)
+		h.Eng.At(at, enter)
+	}
+	world.Repeat(h.Eng, r, stats.Exponential{MeanV: float64(hl.Cfg.MeanArrival)},
+		1, hl.Cfg.Horizon, enter)
+}
+
+// Run executes the scenario.
+func (hl *Hall) Run() core.Results { return hl.Harness.Run() }

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"fmt"
+
+	"pervasive/internal/core"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/stats"
+	"pervasive/internal/world"
+)
+
+// HospitalConfig parameterizes the hospital scenario of Section 5: RFID
+// badges on visitors and patients; sensors monitor the waiting room's
+// doors and the infectious-diseases ward's entrance. Two alarms are
+// supported:
+//
+//   - Overcrowding: waiting-room occupancy above WaitingCapacity
+//     (Σ(xᵢ−yᵢ) > cap over the waiting-room door sensors);
+//   - Restricted entry: any visitor inside the infectious ward
+//     (ward occupancy > 0).
+type HospitalConfig struct {
+	Seed            uint64
+	WaitingDoors    int
+	WaitingCapacity int
+	// Alarm selects which predicate to detect: "crowding" (default) or
+	// "ward".
+	Alarm       string
+	MeanArrival sim.Duration
+	MeanStay    sim.Duration
+	// WardMeanVisit is the mean gap between (disallowed) ward entries.
+	WardMeanVisit sim.Duration
+	Kind          core.ClockKind
+	Delay         sim.DelayModel
+	Horizon       sim.Time
+}
+
+func (c *HospitalConfig) fill() {
+	if c.WaitingDoors <= 0 {
+		c.WaitingDoors = 2
+	}
+	if c.WaitingCapacity <= 0 {
+		c.WaitingCapacity = 20
+	}
+	if c.Alarm == "" {
+		c.Alarm = "crowding"
+	}
+	if c.MeanArrival <= 0 {
+		c.MeanArrival = 2 * sim.Second
+	}
+	if c.MeanStay <= 0 {
+		c.MeanStay = 40 * sim.Second
+	}
+	if c.WardMeanVisit <= 0 {
+		c.WardMeanVisit = 30 * sim.Second
+	}
+	if c.Delay == nil {
+		c.Delay = sim.NewDeltaBounded(100 * sim.Millisecond)
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 5 * sim.Minute
+	}
+}
+
+// Hospital is a wired hospital scenario. Sensor processes: one per
+// waiting-room door, plus the last one at the ward entrance.
+type Hospital struct {
+	Cfg     HospitalConfig
+	Harness *core.Harness
+	// Alarms counts raised alarms (actuation hook).
+	Alarms int
+}
+
+// NewHospital wires the scenario.
+func NewHospital(cfg HospitalConfig) *Hospital {
+	cfg.fill()
+	n := cfg.WaitingDoors + 1 // + ward sensor
+	wardProc := cfg.WaitingDoors
+
+	var pred predicate.Cond
+	switch cfg.Alarm {
+	case "crowding":
+		pred = OccupancyPredicate(cfg.WaitingCapacity)
+	case "ward":
+		pred = predicate.MustParse(fmt.Sprintf("ward@%d > 0", wardProc))
+	default:
+		panic("scenario: unknown hospital alarm " + cfg.Alarm)
+	}
+
+	h := core.NewHarness(core.HarnessConfig{
+		Seed: cfg.Seed, N: n, Kind: cfg.Kind, Delay: cfg.Delay,
+		Pred: pred, Modality: predicate.Instantaneously, Horizon: cfg.Horizon,
+	})
+	hp := &Hospital{Cfg: cfg, Harness: h}
+	if h.StrobeCk != nil {
+		h.StrobeCk.Notify = func(core.Occurrence) { hp.Alarms++ }
+	}
+
+	r := h.Eng.RNG().Fork()
+
+	// Waiting-room doors.
+	doors := make([]int, cfg.WaitingDoors)
+	for i := range doors {
+		doors[i] = h.World.AddObject(fmt.Sprintf("waiting-door-%d", i), nil)
+		h.Bind(i, doors[i], "x", "x")
+		h.Bind(i, doors[i], "y", "y")
+	}
+	world.Repeat(h.Eng, r, stats.Exponential{MeanV: float64(cfg.MeanArrival)},
+		1, cfg.Horizon, func(now sim.Time) {
+			in := doors[r.Intn(len(doors))]
+			h.World.Add(in, "x", 1)
+			stay := sim.Duration(stats.Exponential{MeanV: float64(cfg.MeanStay)}.Sample(r))
+			if stay < 1 {
+				stay = 1
+			}
+			if now+stay <= cfg.Horizon {
+				h.Eng.At(now+stay, func(sim.Time) {
+					out := doors[r.Intn(len(doors))]
+					h.World.Add(out, "y", 1)
+				})
+			}
+		})
+
+	// Infectious ward: occasional visitors who should not be there.
+	ward := h.World.AddObject("infectious-ward", nil)
+	h.Bind(wardProc, ward, "occupancy", "ward")
+	world.Repeat(h.Eng, r, stats.Exponential{MeanV: float64(cfg.WardMeanVisit)},
+		1, cfg.Horizon, func(now sim.Time) {
+			h.World.Add(ward, "occupancy", 1)
+			visit := sim.Duration(stats.Exponential{MeanV: float64(cfg.MeanStay / 4)}.Sample(r))
+			if visit < 1 {
+				visit = 1
+			}
+			if now+visit <= cfg.Horizon {
+				h.Eng.At(now+visit, func(sim.Time) {
+					h.World.Add(ward, "occupancy", -1)
+				})
+			}
+		})
+	return hp
+}
+
+// Run executes the scenario.
+func (hp *Hospital) Run() core.Results { return hp.Harness.Run() }

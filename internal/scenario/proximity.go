@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"fmt"
+
+	"pervasive/internal/core"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/world"
+)
+
+// ProximityConfig parameterizes §5's third hospital monitor: "we could
+// raise alarms when a visitor approaches a patient whom he is not
+// visiting." A visitor badge and a patient badge move through the ward
+// under random-waypoint mobility; two sensors track their positions; the
+// alarm predicate is squared-distance < Radius², a relational predicate
+// over both sensors' variables, detected under Instantaneously with
+// strobe vector clocks.
+type ProximityConfig struct {
+	Seed uint64
+	// W, H is the ward floor size; Radius the exclusion distance.
+	W, H    float64
+	Radius  float64
+	Speed   float64
+	Kind    core.ClockKind
+	Delay   sim.DelayModel
+	Horizon sim.Time
+}
+
+func (c *ProximityConfig) fill() {
+	if c.W == 0 {
+		c.W = 20
+	}
+	if c.H == 0 {
+		c.H = 20
+	}
+	if c.Radius == 0 {
+		c.Radius = 3
+	}
+	if c.Speed == 0 {
+		c.Speed = 1.3 // walking pace, m/s
+	}
+	if c.Delay == nil {
+		c.Delay = sim.NewDeltaBounded(100 * sim.Millisecond)
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 10 * sim.Minute
+	}
+}
+
+// Proximity is a wired proximity-alarm scenario.
+type Proximity struct {
+	Cfg     ProximityConfig
+	Harness *core.Harness
+	Visitor int // world objects
+	Patient int
+	Alarms  int
+}
+
+// NewProximity wires the scenario: sensor 0 tracks the visitor badge,
+// sensor 1 the (stationary) patient badge.
+func NewProximity(cfg ProximityConfig) *Proximity {
+	cfg.fill()
+	pred := predicate.MustParse(fmt.Sprintf(
+		"(vx@0 - px@1) * (vx@0 - px@1) + (vy@0 - py@1) * (vy@0 - py@1) < %g",
+		cfg.Radius*cfg.Radius))
+	h := core.NewHarness(core.HarnessConfig{
+		Seed: cfg.Seed, N: 2, Kind: cfg.Kind, Delay: cfg.Delay,
+		Pred: pred, Modality: predicate.Instantaneously, Horizon: cfg.Horizon,
+	})
+	p := &Proximity{Cfg: cfg, Harness: h}
+	if h.StrobeCk != nil {
+		h.StrobeCk.Notify = func(core.Occurrence) { p.Alarms++ }
+	}
+
+	p.Visitor = h.World.AddObject("visitor-badge", nil)
+	p.Patient = h.World.AddObject("patient-badge", nil)
+	h.Bind(0, p.Visitor, "x", "vx")
+	h.Bind(0, p.Visitor, "y", "vy")
+	h.Bind(1, p.Patient, "x", "px")
+	h.Bind(1, p.Patient, "y", "py")
+
+	// The visitor wanders; the patient stays in bed at the center.
+	world.Waypoint{
+		Obj: p.Visitor, W: cfg.W, H: cfg.H, Speed: cfg.Speed,
+		Pause: 5 * sim.Second, StartX: 0, StartY: 0,
+	}.Install(h.World, cfg.Horizon)
+	h.World.Set(p.Patient, "x", cfg.W/2)
+	h.World.Set(p.Patient, "y", cfg.H/2)
+	return p
+}
+
+// Run executes the scenario.
+func (p *Proximity) Run() core.Results { return p.Harness.Run() }

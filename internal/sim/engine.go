@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"pervasive/internal/stats"
+)
+
+// Handler is a callback executed at its scheduled virtual time.
+type Handler func(now Time)
+
+// scheduled is one pending event in the engine's event list.
+type scheduled struct {
+	at    Time
+	seq   uint64 // FIFO tie-break for equal timestamps
+	fn    Handler
+	index int // heap index, -1 once popped or cancelled
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*scheduled)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event, usable to cancel it.
+type Timer struct {
+	ev *scheduled
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// cancellation prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	fired := t.ev.index == -1
+	t.ev.fn = nil // fired or not, neuter the callback
+	return !fired
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *stats.RNG
+	stopped bool
+	// Executed counts handlers actually run, for kernel benchmarks.
+	Executed uint64
+}
+
+// NewEngine creates an engine whose randomness derives from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: stats.NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's root random stream. Components that need
+// isolated streams should call RNG().Fork() once at setup.
+func (e *Engine) RNG() *stats.RNG { return e.rng }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling into the
+// past panics: that always indicates a model bug.
+func (e *Engine) At(at Time, fn Handler) *Timer {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, e.now))
+	}
+	ev := &scheduled{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn Handler) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing handler.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing virtual time.
+// It reports whether an event was available.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*scheduled)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.Executed++
+		fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events in timestamp order until the event list drains, Stop
+// is called, or the next event lies strictly after until. Events scheduled
+// exactly at until still run. It returns the virtual time at exit.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		// Peek for the horizon without popping cancelled clutter eagerly.
+		idx := -1
+		for len(e.events) > 0 {
+			if e.events[0].fn == nil {
+				heap.Pop(&e.events)
+				continue
+			}
+			idx = 0
+			break
+		}
+		if idx == -1 {
+			break
+		}
+		if e.events[0].at > until {
+			e.now = until
+			break
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunAll executes all pending events with no horizon. Use with workloads
+// that are guaranteed to terminate.
+func (e *Engine) RunAll() Time { return e.Run(Never) }

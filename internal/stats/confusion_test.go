@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 8, FP: 2, FN: 4, TN: 6}
+	if p := c.Precision(); math.Abs(p-0.8) > 1e-12 {
+		t.Fatalf("precision %v", p)
+	}
+	if r := c.Recall(); math.Abs(r-8.0/12.0) > 1e-12 {
+		t.Fatalf("recall %v", r)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0/12.0)
+	if f := c.F1(); math.Abs(f-wantF1) > 1e-12 {
+		t.Fatalf("f1 %v want %v", f, wantF1)
+	}
+	if a := c.Accuracy(); math.Abs(a-14.0/20.0) > 1e-12 {
+		t.Fatalf("accuracy %v", a)
+	}
+	if fpr := c.FalsePositiveRate(); math.Abs(fpr-0.25) > 1e-12 {
+		t.Fatalf("fpr %v", fpr)
+	}
+	if fnr := c.FalseNegativeRate(); math.Abs(fnr-4.0/12.0) > 1e-12 {
+		t.Fatalf("fnr %v", fnr)
+	}
+}
+
+func TestConfusionEmptyConventions(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 1 || c.Recall() != 1 || c.Accuracy() != 1 {
+		t.Fatal("empty matrix should report perfect scores by convention")
+	}
+	if c.FalsePositiveRate() != 0 || c.FalseNegativeRate() != 0 {
+		t.Fatal("empty matrix rates should be zero")
+	}
+	if c.BorderlineCoverage() != 1 {
+		t.Fatal("no-error borderline coverage should be 1")
+	}
+}
+
+func TestConfusionAdd(t *testing.T) {
+	a := Confusion{TP: 1, FP: 2, FN: 3, TN: 4, BorderlineFP: 1, BorderlineFN: 2}
+	b := Confusion{TP: 10, FP: 20, FN: 30, TN: 40, BorderlineFP: 5, BorderlineFN: 6}
+	a.Add(b)
+	want := Confusion{TP: 11, FP: 22, FN: 33, TN: 44, BorderlineFP: 6, BorderlineFN: 8}
+	if a != want {
+		t.Fatalf("got %+v want %+v", a, want)
+	}
+}
+
+func TestBorderlineCoverage(t *testing.T) {
+	c := Confusion{FP: 4, FN: 4, BorderlineFP: 4, BorderlineFN: 2}
+	if got := c.BorderlineCoverage(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("coverage %v", got)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 1, FP: 2, FN: 3, TN: 4}
+	s := c.String()
+	for _, want := range []string{"TP=1", "FP=2", "FN=3", "TN=4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestF1Degenerate(t *testing.T) {
+	c := Confusion{FN: 5} // precision 1 (nothing reported), recall 0
+	if f := c.F1(); f != 0 {
+		t.Fatalf("F1 %v want 0 when recall is 0", f)
+	}
+	worst := Confusion{FP: 1, FN: 1} // precision 0 AND recall 0
+	if f := worst.F1(); f != 0 {
+		t.Fatalf("F1 %v want 0 at p=r=0", f)
+	}
+}

@@ -1,0 +1,132 @@
+// Package trace records executions of the paper's execution model
+// (Section 2.2): at each process, a sequence of events of type compute
+// (c), sense (n), actuate (a), send (s) and receive (r), each optionally
+// carrying logical timestamps. Traces serialize to JSON for offline
+// inspection (cmd/tracedump) and replay.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"pervasive/internal/clock"
+	"pervasive/internal/sim"
+)
+
+// Type is the event type of the execution model.
+type Type string
+
+// Event types. Sense and actuate are the internal events that touch the
+// world plane; send/receive are network-plane communication.
+const (
+	Compute Type = "c"
+	Sense   Type = "n"
+	Actuate Type = "a"
+	Send    Type = "s"
+	Receive Type = "r"
+)
+
+// Valid reports whether t is one of the five event types.
+func (t Type) Valid() bool {
+	switch t {
+	case Compute, Sense, Actuate, Send, Receive:
+		return true
+	}
+	return false
+}
+
+// Record is one event of one process.
+type Record struct {
+	Proc    int          `json:"proc"`
+	Type    Type         `json:"type"`
+	At      sim.Time     `json:"at"`
+	Lamport uint64       `json:"lamport,omitempty"`
+	Vector  clock.Vector `json:"vector,omitempty"`
+	Attr    string       `json:"attr,omitempty"`
+	Value   float64      `json:"value,omitempty"`
+	Peer    int          `json:"peer,omitempty"` // counterpart process of s/r events
+	Note    string       `json:"note,omitempty"`
+}
+
+// Trace is an execution trace over N processes.
+type Trace struct {
+	N       int      `json:"n"`
+	Records []Record `json:"records"`
+}
+
+// New creates an empty trace for n processes.
+func New(n int) *Trace { return &Trace{N: n} }
+
+// Append adds a record; it panics on invalid process or type, which always
+// indicates an instrumentation bug.
+func (t *Trace) Append(r Record) {
+	if r.Proc < 0 || r.Proc >= t.N {
+		panic(fmt.Sprintf("trace: process %d out of range [0,%d)", r.Proc, t.N))
+	}
+	if !r.Type.Valid() {
+		panic(fmt.Sprintf("trace: invalid event type %q", r.Type))
+	}
+	t.Records = append(t.Records, r)
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// ByProcess returns the records of process i in recorded order.
+func (t *Trace) ByProcess(i int) []Record {
+	var out []Record
+	for _, r := range t.Records {
+		if r.Proc == i {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Counts returns the number of events of each type.
+func (t *Trace) Counts() map[Type]int {
+	m := make(map[Type]int)
+	for _, r := range t.Records {
+		m[r.Type]++
+	}
+	return m
+}
+
+// SortByTime orders records by (At, Proc) stably.
+func (t *Trace) SortByTime() {
+	sort.SliceStable(t.Records, func(i, j int) bool {
+		if t.Records[i].At != t.Records[j].At {
+			return t.Records[i].At < t.Records[j].At
+		}
+		return t.Records[i].Proc < t.Records[j].Proc
+	})
+}
+
+// EncodeJSON writes the trace as a single JSON object.
+func (t *Trace) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// DecodeJSON reads a trace written by EncodeJSON and validates it.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if t.N <= 0 {
+		return nil, fmt.Errorf("trace: invalid process count %d", t.N)
+	}
+	for i, rec := range t.Records {
+		if rec.Proc < 0 || rec.Proc >= t.N {
+			return nil, fmt.Errorf("trace: record %d has process %d out of range", i, rec.Proc)
+		}
+		if !rec.Type.Valid() {
+			return nil, fmt.Errorf("trace: record %d has invalid type %q", i, rec.Type)
+		}
+	}
+	return &t, nil
+}
