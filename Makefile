@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the gate for every change:
+# build, vet, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build vet test race-live bench-obs bench
+
+check: build vet
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The live engine is the concurrency-heavy package; run it alone under
+# the race detector when iterating on it.
+race-live:
+	$(GO) test -race -count=2 ./internal/live/...
+
+# Observability overhead benchmarks (see BENCH_obs.json for the
+# recorded baseline; the bar is <5% DES-kernel slowdown).
+bench-obs:
+	$(GO) test -run xxx -bench DESKernel -benchtime 1s -count 5 .
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

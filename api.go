@@ -9,6 +9,7 @@ import (
 	"pervasive/internal/lattice"
 	"pervasive/internal/live"
 	"pervasive/internal/mac"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/scenario"
 	"pervasive/internal/sim"
@@ -335,6 +336,25 @@ type (
 // Advise ranks the time-implementation options for a deployment using the
 // criteria of Sections 3.3 and 6.
 func Advise(d Deployment) Advice { return advisor.Advise(d) }
+
+// ---- observability (runtime metrics & spans) ----
+
+// Metrics is a registry of runtime counters, gauges, histograms and
+// spans shared by both execution engines; MetricsSnapshot is a
+// point-in-time export of one. A nil *Metrics disables every
+// instrumented path at zero cost, so components hold resolved
+// instruments rather than checking flags.
+type (
+	Metrics         = obs.Registry
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewMetrics returns an enabled metrics registry. Pass it via the Obs
+// fields of HarnessConfig, the scenario configs, or LiveConfig; read it
+// back with Snapshot (JSON via WriteJSON, human-readable via
+// WriteTable). Spans record virtual time under the DES harness and
+// wall-µs under the live engine; Snapshot.TimeBase says which.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // ---- experiments ----
 

@@ -8,15 +8,20 @@
 //	pervasim -scenario habitat -horizon 1h
 //	pervasim -scenario hospital -alarm ward
 //	pervasim -scenario hall -trace run.json   # write a JSON event trace
+//	pervasim -scenario hall -trace run.jsonl  # same, streaming JSONL form
+//	pervasim -scenario hall -metrics m.json   # runtime metrics: JSON file
+//	                                          # + table on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"pervasive/internal/core"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/scenario"
 	"pervasive/internal/sim"
@@ -37,7 +42,8 @@ func main() {
 			"office: instantaneously | possibly | definitely")
 		alarm     = flag.String("alarm", "crowding", "hospital: crowding | ward")
 		epsilon   = flag.Duration("epsilon", time.Millisecond, "physical: sync skew bound ε")
-		tracePath = flag.String("trace", "", "hall: write JSON event trace to this file")
+		tracePath   = flag.String("trace", "", "hall: write JSON event trace to this file (.jsonl for streaming form)")
+		metricsPath = flag.String("metrics", "", "write a runtime-metrics JSON snapshot to this file and a table to stderr")
 	)
 	flag.Parse()
 
@@ -52,6 +58,11 @@ func main() {
 	delay := sim.NewDeltaBounded(dur(*delta))
 	hz := dur(*horizon)
 
+	var reg *obs.Registry // nil keeps every instrumented path a no-op
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+
 	var (
 		res   core.Results
 		extra string
@@ -62,7 +73,7 @@ func main() {
 		cfg := scenario.HallConfig{
 			Seed: *seed, Doors: *doors, Capacity: *capacity,
 			InitialOccupancy: *initial, Kind: kind, Delay: delay,
-			Epsilon: dur(*epsilon), Horizon: hz,
+			Epsilon: dur(*epsilon), Horizon: hz, Obs: reg,
 		}
 		if *tracePath != "" {
 			tr = trace.New(*doors)
@@ -74,25 +85,26 @@ func main() {
 	case "office":
 		of := scenario.NewOffice(scenario.OfficeConfig{
 			Seed: *seed, Rooms: 1, Modality: mod, Delay: delay,
-			Horizon: hz, Actuate: true,
+			Horizon: hz, Actuate: true, Obs: reg,
 		})
 		res = of.Run()
 		extra = fmt.Sprintf("modality: %v, thermostat actuations: %d", mod, of.Actuations)
 	case "hospital":
 		hp := scenario.NewHospital(scenario.HospitalConfig{
 			Seed: *seed, Alarm: *alarm, Kind: kind, Delay: delay, Horizon: hz,
+			Obs: reg,
 		})
 		res = hp.Run()
 		extra = fmt.Sprintf("alarm: %s, raised: %d", *alarm, hp.Alarms)
 	case "habitat":
 		hb := scenario.NewHabitat(scenario.HabitatConfig{
-			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz,
+			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz, Obs: reg,
 		})
 		res = hb.Run()
 		extra = "predicate: herd congregation (≥2 waterholes occupied)"
 	case "proximity":
 		px := scenario.NewProximity(scenario.ProximityConfig{
-			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz,
+			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz, Obs: reg,
 		})
 		res = px.Run()
 		extra = fmt.Sprintf("predicate: visitor within %gm of patient; alarms: %d",
@@ -116,13 +128,39 @@ func main() {
 	fmt.Printf("network: %d msgs sent, %d delivered, %d dropped, %d bytes\n",
 		res.Net.Sent, res.Net.Delivered, res.Net.Dropped, res.Net.Bytes)
 
+	var snap *obs.Snapshot
+	if reg != nil {
+		s := reg.Snapshot()
+		snap = &s
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: snapshot written to %s\n", *metricsPath)
+		if err := snap.WriteTable(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+
 	if tr != nil {
+		tr.Metrics = snap // embed the run's metrics when both are requested
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		if err := tr.EncodeJSON(f); err != nil {
+		if strings.HasSuffix(*tracePath, ".jsonl") {
+			err = tr.EncodeJSONL(f)
+		} else {
+			err = tr.EncodeJSON(f)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("trace: %d records written to %s\n", tr.Len(), *tracePath)

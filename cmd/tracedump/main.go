@@ -6,12 +6,18 @@
 // Usage:
 //
 //	tracedump run.json
+//	tracedump run.jsonl      # streaming JSONL traces, too
 //	pervasim -scenario hall -trace /dev/stdout | tracedump /dev/stdin
+//
+// Traces carrying an embedded metrics block (pervasim -metrics together
+// with -trace) additionally get a runtime-metrics summary.
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"pervasive/internal/clock"
 	"pervasive/internal/lattice"
@@ -21,24 +27,36 @@ import (
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracedump <trace.json>")
+		fmt.Fprintln(os.Stderr, "usage: tracedump <trace.json|trace.jsonl>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	if err := run(os.Args[1], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		os.Exit(2)
+	}
+}
+
+func run(path string, w io.Writer) error {
+	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
-	tr, err := trace.DecodeJSON(f)
+	var tr *trace.Trace
+	if strings.HasSuffix(path, ".jsonl") {
+		tr, err = trace.DecodeJSONL(f)
+	} else {
+		tr, err = trace.DecodeJSON(f)
+	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("processes: %d, records: %d\n", tr.N, tr.Len())
+	fmt.Fprintf(w, "processes: %d, records: %d\n", tr.N, tr.Len())
 	counts := tr.Counts()
 	for _, ty := range []trace.Type{trace.Compute, trace.Sense, trace.Actuate, trace.Send, trace.Receive} {
 		if counts[ty] > 0 {
-			fmt.Printf("  %-8s %d\n", name(ty), counts[ty])
+			fmt.Fprintf(w, "  %-8s %d\n", name(ty), counts[ty])
 		}
 	}
 	for i := 0; i < tr.N; i++ {
@@ -49,23 +67,30 @@ func main() {
 				senses++
 			}
 		}
-		fmt.Printf("  P%-3d: %5d events (%d sense)\n", i, len(recs), senses)
+		fmt.Fprintf(w, "  P%-3d: %5d events (%d sense)\n", i, len(recs), senses)
+	}
+
+	if tr.Metrics != nil {
+		if err := tr.Metrics.WriteTable(w); err != nil {
+			return err
+		}
 	}
 
 	ex := stampedExecution(tr)
 	if ex == nil {
-		fmt.Println("no vector stamps recorded; skipping lattice analysis")
-		return
+		fmt.Fprintln(w, "no vector stamps recorded; skipping lattice analysis")
+		return nil
 	}
 	const maxEvents = 24 // keep enumeration tractable
 	if ex.Events() > maxEvents {
 		trimmed := trimTo(ex, maxEvents)
-		fmt.Printf("lattice (first %d events): ", trimmed.Events())
-		report(trimmed)
+		fmt.Fprintf(w, "lattice (first %d events): ", trimmed.Events())
+		report(w, trimmed)
 	} else {
-		fmt.Printf("lattice (%d events): ", ex.Events())
-		report(ex)
+		fmt.Fprintf(w, "lattice (%d events): ", ex.Events())
+		report(w, ex)
 	}
+	return nil
 }
 
 func name(t trace.Type) string {
@@ -133,18 +158,13 @@ func trimTo(ex *lattice.Execution, budget int) *lattice.Execution {
 	return out
 }
 
-func report(ex *lattice.Execution) {
+func report(w io.Writer, ex *lattice.Execution) {
 	cuts := ex.CountConsistent(0)
-	fmt.Printf("%d consistent cuts of %d possible, width %d\n",
+	fmt.Fprintf(w, "%d consistent cuts of %d possible, width %d\n",
 		cuts, ex.NumCuts(), ex.Width())
 	if ex.PathConsistent() {
-		fmt.Println("actual execution path: consistent under recorded stamps ✓")
+		fmt.Fprintln(w, "actual execution path: consistent under recorded stamps ✓")
 	} else {
-		fmt.Println("WARNING: actual path inconsistent — stamps corrupted?")
+		fmt.Fprintln(w, "WARNING: actual path inconsistent — stamps corrupted?")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracedump:", err)
-	os.Exit(2)
 }

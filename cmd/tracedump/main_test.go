@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRunGolden pins the full tracedump output — event counts,
+// per-process breakdown, embedded metrics table, lattice analysis —
+// against a checked-in trace. Regenerate with: go test ./cmd/tracedump -update
+func TestRunGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(filepath.Join("testdata", "sample.json"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sample.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join("testdata", "no-such-file.json"), &bytes.Buffer{}); err == nil {
+		t.Fatal("missing file not reported")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, &bytes.Buffer{}); err == nil {
+		t.Fatal("corrupt trace not reported")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"pervasive/internal/clock"
 	"pervasive/internal/network"
+	"pervasive/internal/obs"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 )
@@ -38,6 +39,11 @@ type Config struct {
 	// Topo is the overlay; nil means full mesh. TPSN builds its spanning
 	// tree over it.
 	Topo network.Topology
+	// Obs, if non-nil, receives per-protocol metrics: handshake rounds
+	// and message/byte cost as counters, the achieved skew bound ε and
+	// mean absolute skew (µs) as histograms, and one span per protocol
+	// run in virtual time. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -120,7 +126,7 @@ func (f *fleet) score(protocol string, at sim.Time, messages, bytes int64) Resul
 	if pairs > 0 {
 		mean = sum / float64(pairs)
 	}
-	return Result{
+	res := Result{
 		Protocol:   protocol,
 		Eps:        eps,
 		MeanAbsErr: mean,
@@ -128,6 +134,24 @@ func (f *fleet) score(protocol string, at sim.Time, messages, bytes int64) Resul
 		Messages:   messages,
 		Bytes:      bytes,
 	}
+	f.record(res, at)
+	return res
+}
+
+// record publishes a protocol run's outcome to the obs registry. This is
+// a cold path (once per protocol run), so registry lookups by name are
+// fine here.
+func (f *fleet) record(res Result, at sim.Time) {
+	r := f.cfg.Obs
+	if r == nil {
+		return
+	}
+	r.Counter("clocksync.rounds").Add(int64(f.cfg.Rounds))
+	r.Counter("clocksync.messages").Add(res.Messages)
+	r.Counter("clocksync.bytes").Add(res.Bytes)
+	r.Histogram("clocksync.eps_us", obs.DurationBuckets).Observe(float64(res.Eps))
+	r.Histogram("clocksync.skew_us", obs.DurationBuckets).Observe(res.MeanAbsErr)
+	r.StartSpanAt("clocksync."+res.Protocol, 0).EndAt(at)
 }
 
 func (f *fleet) corrected(i int, at sim.Time) float64 {

@@ -3,6 +3,7 @@ package core
 import (
 	"pervasive/internal/clock"
 	"pervasive/internal/network"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 )
@@ -55,6 +56,24 @@ type StrobeChecker struct {
 	Applied int64
 	// Stale counts strobes discarded as stale/duplicate/out-of-order.
 	Stale int64
+
+	// Resolved obs instruments; nil (no-ops) until SetObs.
+	obsEvals      *obs.Counter
+	obsDetections *obs.Counter
+	obsApplied    *obs.Counter
+	obsStale      *obs.Counter
+	obsRaces      *obs.Counter
+}
+
+// SetObs attaches runtime metrics: predicate evaluations (including the
+// four-state probes of race detection), detections, applied/stale
+// strobes and race markers. SetObs(nil) detaches.
+func (c *StrobeChecker) SetObs(r *obs.Registry) {
+	c.obsEvals = r.Counter("checker.pred_evals")
+	c.obsDetections = r.Counter("checker.detections")
+	c.obsApplied = r.Counter("checker.strobes_applied")
+	c.obsStale = r.Counter("checker.strobes_stale")
+	c.obsRaces = r.Counter("checker.race_markers")
 }
 
 type change struct {
@@ -122,10 +141,12 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 	}
 	if m.Proc < 0 || m.Proc >= c.n || m.Seq <= c.lastSeq[m.Proc] {
 		c.Stale++
+		c.obsStale.Inc()
 		return
 	}
 	c.lastSeq[m.Proc] = m.Seq
 	c.Applied++
+	c.obsApplied.Inc()
 
 	// Differential strobes: rebuild the sender's full vector by merging
 	// its changed components into the per-sender reconstruction. After a
@@ -149,6 +170,7 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 
 	prev := c.vals[m.Proc][m.Var]
 	c.vals[m.Proc][m.Var] = m.Value
+	c.obsEvals.Inc()
 	settled := c.pred.Holds(checkerState{c.vals})
 
 	race := false
@@ -163,9 +185,11 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 
 	if race {
 		c.markers = append(c.markers, now)
+		c.obsRaces.Inc()
 	}
 	if settled != c.cur {
 		if settled {
+			c.obsDetections.Inc()
 			o := Occurrence{Start: now, Borderline: race}
 			c.occ = append(c.occ, o)
 			if c.Notify != nil {
@@ -196,7 +220,10 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 // window) and the observation is robust — e.g. two concurrent rises that
 // jointly push a sum over its threshold are correctly left unflagged.
 func (c *StrobeChecker) detectRace(m StrobeMsg, prevI float64) bool {
-	phi := func() bool { return c.pred.Holds(checkerState{c.vals}) }
+	phi := func() bool {
+		c.obsEvals.Inc()
+		return c.pred.Holds(checkerState{c.vals})
+	}
 	for j := 0; j < c.n; j++ {
 		if j == m.Proc || c.stamps[j] == nil || !c.lastChange[j].valid {
 			continue

@@ -5,6 +5,7 @@ import (
 
 	"pervasive/internal/intervals"
 	"pervasive/internal/network"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 )
@@ -41,6 +42,29 @@ type ConjunctiveChecker struct {
 	// post-hoc soundness verification in tests.
 	KeepSets    bool
 	MatchedSets [][]IntervalMsg
+
+	// Resolved obs instruments; nil (no-ops) until SetObs.
+	obsDetections *obs.Counter
+	obsIntervals  *obs.Counter
+	obsQueue      *obs.Gauge
+}
+
+// SetObs attaches runtime metrics: matched occurrences, enqueued
+// interval reports, and total queue occupancy across processes (with
+// watermark). SetObs(nil) detaches.
+func (c *ConjunctiveChecker) SetObs(r *obs.Registry) {
+	c.obsDetections = r.Counter("checker.detections")
+	c.obsIntervals = r.Counter("checker.intervals_enqueued")
+	c.obsQueue = r.Gauge("checker.queue_depth")
+}
+
+// queueDepth is the total interval count buffered across all queues.
+func (c *ConjunctiveChecker) queueDepth() int64 {
+	var d int64
+	for _, q := range c.queues {
+		d += int64(len(q))
+	}
+	return d
 }
 
 // NewConjunctiveChecker creates a checker over n processes for the given
@@ -81,6 +105,11 @@ func (c *ConjunctiveChecker) OnInterval(m IntervalMsg, _ sim.Time) {
 	copy(q[pos+1:], q[pos:])
 	q[pos] = m
 	c.queues[m.Proc] = q
+	c.obsIntervals.Inc()
+	if c.obsQueue != nil { // skip the O(n) depth walk when uninstrumented
+		c.obsQueue.Set(c.queueDepth())
+		defer func() { c.obsQueue.Set(c.queueDepth()) }()
+	}
 	c.match()
 }
 
@@ -162,6 +191,7 @@ func earliestClose(heads []IntervalMsg) int {
 // and flagged borderline (it possibly-but-not-definitely happened).
 func (c *ConjunctiveChecker) report(heads []IntervalMsg) {
 	c.matches++
+	c.obsDetections.Inc()
 	if c.KeepSets {
 		c.MatchedSets = append(c.MatchedSets, append([]IntervalMsg(nil), heads...))
 	}

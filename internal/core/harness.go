@@ -6,6 +6,7 @@ import (
 	"pervasive/internal/clock"
 	"pervasive/internal/lattice"
 	"pervasive/internal/network"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
@@ -56,6 +57,11 @@ type HarnessConfig struct {
 	Tol       sim.Duration
 	Trace     *trace.Trace
 	LogStamps bool
+	// Obs, if non-nil, receives runtime metrics from the engine, the
+	// transport and the active checker; its time source is set to the
+	// engine's virtual clock. Nil (the default) disables instrumentation
+	// at zero cost.
+	Obs *obs.Registry
 }
 
 // Harness owns one wired simulation.
@@ -120,6 +126,11 @@ func NewHarness(cfg HarnessConfig) *Harness {
 	w := world.New(eng)
 	nt := network.New(eng, cfg.Topo, cfg.Delay)
 	nt.Flood = cfg.Flood
+	if cfg.Obs != nil {
+		cfg.Obs.SetNow("virtual", eng.Now)
+		obs.CollectEngine(cfg.Obs, eng)
+		nt.SetObs(cfg.Obs)
+	}
 
 	h := &Harness{Cfg: cfg, Eng: eng, World: w, Net: nt}
 
@@ -139,12 +150,15 @@ func NewHarness(cfg HarnessConfig) *Harness {
 		switch cfg.Kind {
 		case VectorStrobe, DiffVectorStrobe:
 			h.StrobeCk = NewVectorChecker(cfg.N, cfg.Pred)
+			h.StrobeCk.SetObs(cfg.Obs)
 			h.StrobeCk.Register(nt, cfg.N)
 		case ScalarStrobe:
 			h.StrobeCk = NewScalarChecker(cfg.N, cfg.Pred)
+			h.StrobeCk.SetObs(cfg.Obs)
 			h.StrobeCk.Register(nt, cfg.N)
 		case PhysicalReport:
 			h.PhysCk = NewPhysicalChecker(eng, cfg.N, cfg.Pred, cfg.Slack)
+			h.PhysCk.SetObs(cfg.Obs)
 			h.PhysCk.Register(nt, cfg.N)
 		}
 	case predicate.Possibly, predicate.Definitely:
@@ -161,6 +175,7 @@ func NewHarness(cfg HarnessConfig) *Harness {
 		}
 		scfg.LocalConj = local
 		h.ConjCk = NewConjunctiveChecker(cfg.N, cfg.Modality)
+		h.ConjCk.SetObs(cfg.Obs)
 		h.ConjCk.Register(nt, cfg.N)
 	}
 
@@ -213,12 +228,14 @@ func (s worldState) NumProcs() int { return s.n }
 // scores against ground truth.
 func (h *Harness) Run() Results {
 	horizon := h.Cfg.Horizon
+	sp := h.Cfg.Obs.StartSpanAt("harness.run", h.Eng.Now())
 	h.Eng.Run(horizon)
 	// Let in-flight control traffic settle (bounded models only).
 	for _, s := range h.Sensors {
 		s.FlushConjunct(horizon)
 	}
 	h.Eng.RunAll()
+	sp.EndAt(h.Eng.Now())
 
 	res := Results{Net: h.Net.Stats, Horizon: horizon}
 	switch {

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"pervasive/internal/network"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 )
@@ -38,6 +39,22 @@ type PhysicalChecker struct {
 	// Reordered counts reports that arrived with a timestamp below the
 	// replay watermark and were applied out of order.
 	Reordered int64
+
+	// Resolved obs instruments; nil (no-ops) until SetObs.
+	obsEvals      *obs.Counter
+	obsDetections *obs.Counter
+	obsApplied    *obs.Counter
+	obsQueue      *obs.Gauge
+}
+
+// SetObs attaches runtime metrics: predicate evaluations, detections,
+// replayed reports, and the reorder buffer's occupancy (with watermark).
+// SetObs(nil) detaches.
+func (c *PhysicalChecker) SetObs(r *obs.Registry) {
+	c.obsEvals = r.Counter("checker.pred_evals")
+	c.obsDetections = r.Counter("checker.detections")
+	c.obsApplied = r.Counter("checker.reports_applied")
+	c.obsQueue = r.Gauge("checker.queue_depth")
 }
 
 // NewPhysicalChecker creates the checker; slack should be ≥ the delay
@@ -68,6 +85,7 @@ func (c *PhysicalChecker) OnReport(m ReportMsg, now sim.Time) {
 		return
 	}
 	heap.Push(&c.pending, m)
+	c.obsQueue.Set(int64(c.pending.Len()))
 	c.eng.After(c.Slack, func(t sim.Time) { c.drain(t) })
 }
 
@@ -82,6 +100,7 @@ func (c *PhysicalChecker) drain(now sim.Time) {
 	for c.pending.Len() > 0 && c.pending[0].TS <= watermark {
 		c.apply(heap.Pop(&c.pending).(ReportMsg))
 	}
+	c.obsQueue.Set(int64(c.pending.Len()))
 }
 
 func (c *PhysicalChecker) apply(m ReportMsg) {
@@ -94,10 +113,13 @@ func (c *PhysicalChecker) apply(m ReportMsg) {
 		c.lastTS = m.TS
 	}
 	c.applied++
+	c.obsApplied.Inc()
 	c.vals[m.Proc][m.Var] = m.Value
+	c.obsEvals.Inc()
 	settled := c.pred.Holds(checkerState{c.vals})
 	if settled != c.cur {
 		if settled {
+			c.obsDetections.Inc()
 			c.occ = append(c.occ, Occurrence{Start: m.TS})
 		} else if len(c.occ) > 0 {
 			c.occ[len(c.occ)-1].End = m.TS

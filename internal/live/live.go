@@ -18,6 +18,7 @@ import (
 
 	"pervasive/internal/clock"
 	"pervasive/internal/core"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
@@ -35,6 +36,15 @@ type Config struct {
 	Pred predicate.Cond
 	// Buffer is each node's mailbox capacity (default 1024).
 	Buffer int
+	// Obs, if non-nil, receives runtime metrics (goroutine sends, drops,
+	// mailbox depth, checker strobes); its time source is set to the
+	// network's wall-µs clock. Nil disables instrumentation.
+	Obs *obs.Registry
+	// MetricsAddr, when set together with Obs, serves the registry over
+	// HTTP at /metrics (JSON snapshot) and /debug/vars (expvar) for the
+	// duration of the run — e.g. "127.0.0.1:0". The bound address is in
+	// Network.Metrics.Addr.
+	MetricsAddr string
 }
 
 // Network is a running live sensor network.
@@ -60,6 +70,17 @@ type Network struct {
 	sentMu sync.Mutex
 	sent   int64
 	bytes  int64
+
+	// Metrics is the HTTP metrics endpoint when Config.MetricsAddr was
+	// set and the listener bound; nil otherwise. Closed by Stop.
+	Metrics *obs.MetricsServer
+
+	// Resolved obs instruments; nil (no-ops) when Config.Obs is nil.
+	obsSends   *obs.Counter
+	obsDrops   *obs.Counter
+	obsBytes   *obs.Counter
+	obsMailbox *obs.Gauge
+	obsChecker *obs.Counter
 }
 
 // Node is one goroutine-backed sensor process.
@@ -101,11 +122,24 @@ func Start(cfg Config) *Network {
 		start: time.Now(),
 		done:  make(chan struct{}),
 	}
+	nw.cfg.Obs.SetNow("wall", nw.Now)
+	nw.obsSends = cfg.Obs.Counter("live.sends")
+	nw.obsDrops = cfg.Obs.Counter("live.drops")
+	nw.obsBytes = cfg.Obs.Counter("live.bytes")
+	nw.obsMailbox = cfg.Obs.Gauge("live.mailbox_depth")
+	nw.obsChecker = cfg.Obs.Counter("live.checker_strobes")
+	if cfg.MetricsAddr != "" && cfg.Obs != nil {
+		cfg.Obs.PublishExpvar("pervasive")
+		if srv, err := cfg.Obs.Serve(cfg.MetricsAddr); err == nil {
+			nw.Metrics = srv
+		}
+	}
 	if cfg.Kind == core.VectorStrobe {
 		nw.checker = core.NewVectorChecker(cfg.N, cfg.Pred)
 	} else {
 		nw.checker = core.NewScalarChecker(cfg.N, cfg.Pred)
 	}
+	nw.checker.SetObs(cfg.Obs)
 	for i := 0; i < cfg.N; i++ {
 		n := &Node{
 			ID: i, nw: nw,
@@ -200,11 +234,13 @@ func (nw *Network) broadcast(src int, m core.StrobeMsg) {
 		d, dropped := nw.sampleDelay(src, peer.ID)
 		nw.count(m)
 		if dropped {
+			nw.obsDrops.Inc()
 			continue
 		}
 		time.AfterFunc(d.Std(), func() {
 			select {
 			case peer.in <- m:
+				nw.obsMailbox.Set(int64(len(peer.in)))
 			case <-nw.done:
 			}
 		})
@@ -213,6 +249,7 @@ func (nw *Network) broadcast(src int, m core.StrobeMsg) {
 	d, dropped := nw.sampleDelay(src, nw.cfg.N)
 	nw.count(m)
 	if dropped {
+		nw.obsDrops.Inc()
 		return
 	}
 	time.AfterFunc(d.Std(), func() {
@@ -223,6 +260,7 @@ func (nw *Network) broadcast(src int, m core.StrobeMsg) {
 		}
 		nw.checkerMu.Lock()
 		defer nw.checkerMu.Unlock()
+		nw.obsChecker.Inc()
 		nw.checker.OnStrobe(m, nw.Now())
 	})
 }
@@ -238,6 +276,8 @@ func (nw *Network) count(m core.StrobeMsg) {
 	nw.sent++
 	nw.bytes += int64(m.WireSize())
 	nw.sentMu.Unlock()
+	nw.obsSends.Inc()
+	nw.obsBytes.Add(int64(m.WireSize()))
 }
 
 // Results of a live run.
@@ -255,10 +295,15 @@ type Results struct {
 // settle duration, finishes the checker, and scores against the recorded
 // ground truth with tolerance tol.
 func (nw *Network) Stop(settle time.Duration, tol sim.Duration) Results {
+	sp := nw.cfg.Obs.StartSpanAt("live.stop", nw.Now())
 	time.Sleep(settle)
 	horizon := nw.Now()
 	nw.stopOnce.Do(func() { close(nw.done) })
 	nw.wg.Wait()
+	sp.EndAt(nw.Now())
+	if nw.Metrics != nil {
+		_ = nw.Metrics.Close()
+	}
 
 	nw.checkerMu.Lock()
 	nw.checker.Finish(horizon)

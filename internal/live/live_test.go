@@ -1,10 +1,14 @@
 package live
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"testing"
 	"time"
 
 	"pervasive/internal/core"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 )
@@ -140,5 +144,66 @@ func TestLiveConcurrentSensesDoNotRace(t *testing.T) {
 	res := nw.Stop(30*time.Millisecond, 5*sim.Millisecond)
 	if res.Sent == 0 {
 		t.Fatal("no traffic recorded")
+	}
+}
+
+func TestLiveObsMetricsAndEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	nw := Start(Config{
+		N: 3, Seed: 7, Kind: core.VectorStrobe,
+		Delay:       sim.DeltaBounded{Min: 10, Max: 100},
+		Pred:        predicate.MustParse("sum(x) > 1"),
+		Obs:         reg,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if nw.Metrics == nil {
+		t.Fatal("metrics endpoint did not start")
+	}
+	for i := 0; i < 3; i++ {
+		nw.Node(i).Sense("x", 1)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	// Scrape the live endpoint mid-run.
+	resp, err := http.Get("http://" + nw.Metrics.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("endpoint JSON: %v\n%s", err, body)
+	}
+	if snap.TimeBase != "wall" {
+		t.Fatalf("time base %q", snap.TimeBase)
+	}
+
+	res := nw.Stop(20*time.Millisecond, 5*sim.Millisecond)
+	final := reg.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range final.Counters {
+		counters[c.Name] = c.Value
+	}
+	// 3 senses × (2 peers + checker) = 9 sends.
+	if counters["live.sends"] != res.Sent || counters["live.sends"] != 9 {
+		t.Fatalf("live.sends %d (res.Sent %d)", counters["live.sends"], res.Sent)
+	}
+	if counters["live.bytes"] != res.Bytes {
+		t.Fatalf("live.bytes %d want %d", counters["live.bytes"], res.Bytes)
+	}
+	if counters["live.checker_strobes"] != 3 {
+		t.Fatalf("checker strobes %d", counters["live.checker_strobes"])
+	}
+	if counters["checker.strobes_applied"] == 0 {
+		t.Fatal("checker instrumentation not wired in live mode")
+	}
+
+	// The endpoint is closed by Stop.
+	if _, err := http.Get("http://" + nw.Metrics.Addr + "/metrics"); err == nil {
+		t.Fatal("metrics endpoint still up after Stop")
 	}
 }

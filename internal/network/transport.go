@@ -1,6 +1,7 @@
 package network
 
 import (
+	"pervasive/internal/obs"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 )
@@ -57,6 +58,42 @@ type Net struct {
 	seen []map[uint64]bool // per-process flood duplicate suppression
 
 	Stats Stats
+
+	// obsDelay samples per-link delays when SetObs attached a registry.
+	// Like the Stats block it is plain, unsynchronized state: the
+	// transport belongs to the single-threaded DES, so counters are
+	// published by a snapshot-time collector rather than paid for with
+	// atomics on every message.
+	obsDelay *obs.LocalHist
+}
+
+// SetObs attaches runtime metrics: per-link sends, deliveries, drops
+// and bytes as counters, and the sampled link delay (µs) as a
+// histogram. The hot path stays atomic-free — a registered collector
+// mirrors the Stats block and the local delay histogram into the
+// registry at snapshot time. SetObs(nil) stops delay sampling; values
+// already mirrored into a previous registry remain there.
+func (nt *Net) SetObs(r *obs.Registry) {
+	if r == nil {
+		nt.obsDelay = nil
+		return
+	}
+	nt.obsDelay = obs.NewLocalHist(obs.DurationBuckets)
+	var (
+		sent      = r.Counter("net.sent")
+		delivered = r.Counter("net.delivered")
+		dropped   = r.Counter("net.dropped")
+		bytes     = r.Counter("net.bytes")
+		delay     = r.Histogram("net.delay_us", obs.DurationBuckets)
+		local     = nt.obsDelay
+	)
+	r.RegisterCollector(func(*obs.Registry) {
+		sent.Store(nt.Stats.Sent)
+		delivered.Store(nt.Stats.Delivered)
+		dropped.Store(nt.Stats.Dropped)
+		bytes.Store(nt.Stats.Bytes)
+		delay.CopyFrom(local)
+	})
 }
 
 // New creates a transport over the topology with the given delay model.
@@ -125,16 +162,27 @@ func (nt *Net) newID() uint64 {
 	return nt.nextID
 }
 
+// countSend records one link-level transmission.
+func (nt *Net) countSend(p Payload) {
+	nt.Stats.Sent++
+	nt.Stats.Bytes += int64(p.WireSize() + nt.HeaderBytes)
+	nt.Stats.ByKind[p.Kind()]++
+}
+
+// countDrop records one dropped transmission.
+func (nt *Net) countDrop() {
+	nt.Stats.Dropped++
+}
+
 // transmit schedules one link-level transmission.
 func (nt *Net) transmit(m Message) {
-	nt.Stats.Sent++
-	nt.Stats.Bytes += int64(m.Payload.WireSize() + nt.HeaderBytes)
-	nt.Stats.ByKind[m.Payload.Kind()]++
+	nt.countSend(m.Payload)
 	d, dropped := sim.SampleDelay(nt.delay, nt.rng, nt.eng.Now(), m.From, m.Dst)
 	if dropped {
-		nt.Stats.Dropped++
+		nt.countDrop()
 		return
 	}
+	nt.obsDelay.Observe(float64(d))
 	nt.eng.After(d, func(now sim.Time) { nt.deliver(m, now) })
 }
 
@@ -155,14 +203,13 @@ func (nt *Net) relay(m Message) {
 		hop := m
 		hop.Dst = j
 		hop.Hops = m.Hops + 1
-		nt.Stats.Sent++
-		nt.Stats.Bytes += int64(hop.Payload.WireSize() + nt.HeaderBytes)
-		nt.Stats.ByKind[hop.Payload.Kind()]++
+		nt.countSend(hop.Payload)
 		d, dropped := sim.SampleDelay(nt.delay, nt.rng, nt.eng.Now(), hop.From, hop.Dst)
 		if dropped {
-			nt.Stats.Dropped++
+			nt.countDrop()
 			continue
 		}
+		nt.obsDelay.Observe(float64(d))
 		nt.eng.After(d, func(now sim.Time) {
 			if nt.seen[hop.Dst][hop.ID] {
 				return // duplicate arrived first via another path

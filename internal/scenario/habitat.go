@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pervasive/internal/core"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 	"pervasive/internal/world"
@@ -26,6 +27,8 @@ type HabitatConfig struct {
 	Kind        core.ClockKind
 	Delay       sim.DelayModel
 	Horizon     sim.Time
+	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
+	Obs *obs.Registry
 }
 
 func (c *HabitatConfig) fill() {
@@ -63,6 +66,7 @@ func NewHabitat(cfg HabitatConfig) *Habitat {
 	h := core.NewHarness(core.HarnessConfig{
 		Seed: cfg.Seed, N: cfg.Waterholes, Kind: cfg.Kind, Delay: cfg.Delay,
 		Pred: pred, Modality: predicate.Instantaneously, Horizon: cfg.Horizon,
+		Obs: cfg.Obs,
 	})
 	for i := 0; i < cfg.Waterholes; i++ {
 		wh := h.World.AddObject(fmt.Sprintf("waterhole-%d", i), nil)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"pervasive/internal/core"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
@@ -38,6 +39,8 @@ type HallConfig struct {
 	InitialOccupancy int
 	// Trace, if non-nil, records every sensor event (for cmd/tracedump).
 	Trace *trace.Trace
+	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
+	Obs *obs.Registry
 }
 
 func (c *HallConfig) fill() {
@@ -85,6 +88,7 @@ func NewHall(cfg HallConfig) *Hall {
 		Epsilon:  cfg.Epsilon,
 		Horizon:  cfg.Horizon,
 		Trace:    cfg.Trace,
+		Obs:      cfg.Obs,
 	})
 	hall := &Hall{Cfg: cfg, Harness: h}
 	for i := 0; i < cfg.Doors; i++ {

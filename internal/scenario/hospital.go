@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pervasive/internal/core"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
@@ -33,6 +34,8 @@ type HospitalConfig struct {
 	Kind          core.ClockKind
 	Delay         sim.DelayModel
 	Horizon       sim.Time
+	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
+	Obs *obs.Registry
 }
 
 func (c *HospitalConfig) fill() {
@@ -90,6 +93,7 @@ func NewHospital(cfg HospitalConfig) *Hospital {
 	h := core.NewHarness(core.HarnessConfig{
 		Seed: cfg.Seed, N: n, Kind: cfg.Kind, Delay: cfg.Delay,
 		Pred: pred, Modality: predicate.Instantaneously, Horizon: cfg.Horizon,
+		Obs: cfg.Obs,
 	})
 	hp := &Hospital{Cfg: cfg, Harness: h}
 	if h.StrobeCk != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pervasive/internal/core"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 	"pervasive/internal/world"
@@ -32,6 +33,8 @@ type OfficeConfig struct {
 	MeanOccupied sim.Duration
 	MeanEmpty    sim.Duration
 	MeanTempStep sim.Duration
+	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
+	Obs *obs.Registry
 }
 
 func (c *OfficeConfig) fill() {
@@ -87,7 +90,7 @@ func NewOffice(cfg OfficeConfig) *Office {
 
 	hcfg := core.HarnessConfig{
 		Seed: cfg.Seed, N: n, Kind: core.VectorStrobe, Delay: cfg.Delay,
-		Pred: pred, Modality: cfg.Modality, Horizon: cfg.Horizon,
+		Pred: pred, Modality: cfg.Modality, Horizon: cfg.Horizon, Obs: cfg.Obs,
 	}
 	if cfg.Modality == predicate.Possibly || cfg.Modality == predicate.Definitely {
 		// Local conjunct template: motion sensors report motion==1

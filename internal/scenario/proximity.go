@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pervasive/internal/core"
+	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
 	"pervasive/internal/world"
@@ -25,6 +26,8 @@ type ProximityConfig struct {
 	Kind    core.ClockKind
 	Delay   sim.DelayModel
 	Horizon sim.Time
+	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
+	Obs *obs.Registry
 }
 
 func (c *ProximityConfig) fill() {
@@ -67,6 +70,7 @@ func NewProximity(cfg ProximityConfig) *Proximity {
 	h := core.NewHarness(core.HarnessConfig{
 		Seed: cfg.Seed, N: 2, Kind: cfg.Kind, Delay: cfg.Delay,
 		Pred: pred, Modality: predicate.Instantaneously, Horizon: cfg.Horizon,
+		Obs: cfg.Obs,
 	})
 	p := &Proximity{Cfg: cfg, Harness: h}
 	if h.StrobeCk != nil {

@@ -50,7 +50,8 @@ func (h *eventHeap) Pop() any {
 
 // Timer is a handle to a scheduled event, usable to cancel it.
 type Timer struct {
-	ev *scheduled
+	ev  *scheduled
+	eng *Engine
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the
@@ -61,6 +62,9 @@ func (t *Timer) Stop() bool {
 	}
 	fired := t.ev.index == -1
 	t.ev.fn = nil // fired or not, neuter the callback
+	if !fired && t.eng != nil {
+		t.eng.Cancelled++
+	}
 	return !fired
 }
 
@@ -74,6 +78,15 @@ type Engine struct {
 	stopped bool
 	// Executed counts handlers actually run, for kernel benchmarks.
 	Executed uint64
+	// Scheduled counts events accepted by At/After; Cancelled counts
+	// timers stopped before firing; MaxHeapDepth is the event list's
+	// high-watermark. They are plain fields — the kernel is
+	// single-threaded, so instrumentation costs one increment, not an
+	// atomic — published to an obs registry at snapshot time by
+	// obs.CollectEngine (sim cannot import obs, which uses sim.Time).
+	Scheduled    uint64
+	Cancelled    uint64
+	MaxHeapDepth int
 }
 
 // NewEngine creates an engine whose randomness derives from seed.
@@ -103,7 +116,11 @@ func (e *Engine) At(at Time, fn Handler) *Timer {
 	ev := &scheduled{at: at, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	e.Scheduled++
+	if len(e.events) > e.MaxHeapDepth {
+		e.MaxHeapDepth = len(e.events)
+	}
+	return &Timer{ev: ev, eng: e}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.

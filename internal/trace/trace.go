@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"pervasive/internal/clock"
+	"pervasive/internal/obs"
 	"pervasive/internal/sim"
 )
 
@@ -54,6 +55,19 @@ type Record struct {
 type Trace struct {
 	N       int      `json:"n"`
 	Records []Record `json:"records"`
+	// Metrics optionally embeds the observability snapshot taken at the
+	// end of the run that produced this trace (see internal/obs), so a
+	// trace file is self-describing about the run's runtime behaviour.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+
+	// Index over Records, built lazily on first ByProcess/Counts and
+	// maintained incrementally by Append. byProc holds, per process,
+	// the indices of its records in recorded order; counts mirrors the
+	// per-type totals. Both are dropped together by InvalidateIndex —
+	// Append's incremental path assumes byProc != nil implies counts is
+	// in sync.
+	byProc [][]int
+	counts map[Type]int
 }
 
 // New creates an empty trace for n processes.
@@ -69,32 +83,68 @@ func (t *Trace) Append(r Record) {
 		panic(fmt.Sprintf("trace: invalid event type %q", r.Type))
 	}
 	t.Records = append(t.Records, r)
+	if t.byProc != nil {
+		t.byProc[r.Proc] = append(t.byProc[r.Proc], len(t.Records)-1)
+		t.counts[r.Type]++
+	}
 }
 
 // Len returns the number of records.
 func (t *Trace) Len() int { return len(t.Records) }
 
-// ByProcess returns the records of process i in recorded order.
+// InvalidateIndex drops the per-process index. Append and SortByTime
+// maintain or invalidate it automatically; call this only after
+// mutating Records directly.
+func (t *Trace) InvalidateIndex() {
+	t.byProc, t.counts = nil, nil
+}
+
+func (t *Trace) buildIndex() {
+	t.byProc = make([][]int, t.N)
+	t.counts = make(map[Type]int, 5)
+	for i, r := range t.Records {
+		t.byProc[r.Proc] = append(t.byProc[r.Proc], i)
+		t.counts[r.Type]++
+	}
+}
+
+// ByProcess returns the records of process i in recorded order. The
+// first call builds a per-process index, so repeated calls (one per
+// process is the common pattern in cmd/tracedump) cost O(records of i)
+// instead of rescanning the whole trace.
 func (t *Trace) ByProcess(i int) []Record {
-	var out []Record
-	for _, r := range t.Records {
-		if r.Proc == i {
-			out = append(out, r)
-		}
+	if i < 0 || i >= t.N {
+		return nil
+	}
+	if t.byProc == nil {
+		t.buildIndex()
+	}
+	idx := t.byProc[i]
+	if len(idx) == 0 {
+		return nil
+	}
+	out := make([]Record, len(idx))
+	for k, j := range idx {
+		out[k] = t.Records[j]
 	}
 	return out
 }
 
-// Counts returns the number of events of each type.
+// Counts returns the number of events of each type. The returned map is
+// a copy; mutating it does not affect the trace.
 func (t *Trace) Counts() map[Type]int {
-	m := make(map[Type]int)
-	for _, r := range t.Records {
-		m[r.Type]++
+	if t.byProc == nil {
+		t.buildIndex()
+	}
+	m := make(map[Type]int, len(t.counts))
+	for k, v := range t.counts {
+		m[k] = v
 	}
 	return m
 }
 
-// SortByTime orders records by (At, Proc) stably.
+// SortByTime orders records by (At, Proc) stably. It invalidates the
+// per-process index, which refers to records by position.
 func (t *Trace) SortByTime() {
 	sort.SliceStable(t.Records, func(i, j int) bool {
 		if t.Records[i].At != t.Records[j].At {
@@ -102,6 +152,7 @@ func (t *Trace) SortByTime() {
 		}
 		return t.Records[i].Proc < t.Records[j].Proc
 	})
+	t.InvalidateIndex()
 }
 
 // EncodeJSON writes the trace as a single JSON object.
