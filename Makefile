@@ -3,10 +3,11 @@
 
 GO ?= go
 
-.PHONY: check build vet test race-live bench-obs bench
+.PHONY: check build vet test race-live bench-obs bench-kernel bench
 
 check: build vet
 	$(GO) test -race ./...
+	$(GO) test -race -run TestTablesByteIdenticalAcrossParallelism ./internal/experiments/ ./internal/runner/
 
 build:
 	$(GO) build ./...
@@ -26,6 +27,11 @@ race-live:
 # recorded baseline; the bar is <5% DES-kernel slowdown).
 bench-obs:
 	$(GO) test -run xxx -bench DESKernel -benchtime 1s -count 5 .
+
+# Kernel fast-path numbers (index-heap event list, zero-alloc hot path,
+# parallel runner wall clock); rewrites the recorded BENCH_kernel.json.
+bench-kernel:
+	$(GO) run ./cmd/benchkernel -o BENCH_kernel.json
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"pervasive/internal/experiments"
+	"pervasive/internal/sim"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -120,6 +121,43 @@ type mapState struct {
 
 func (m mapState) Get(proc int, name string) float64 { return m.vals[[2]any{proc, name}] }
 func (m mapState) NumProcs() int                     { return m.n }
+
+// BenchmarkKernelScheduleStep measures the DES kernel's steady-state
+// schedule+step cost: a fixed population of self-rescheduling events, one
+// pop and one push per iteration. The fast-path bar is ~0 allocs/op (see
+// BENCH_kernel.json).
+func BenchmarkKernelScheduleStep(b *testing.B) {
+	e := sim.NewEngine(1)
+	const depth = 1024
+	var tick sim.Handler
+	tick = func(now sim.Time) {
+		e.After(sim.Duration(now%97)+1, tick)
+	}
+	for i := 0; i < depth; i++ {
+		e.After(sim.Duration(i%97)+1, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkKernelTimerCancel measures timer cancel churn — the
+// schedule-timeout/cancel-timeout pattern of delay models and MAC duty
+// cycling: every iteration schedules a doomed timer, stops it, and steps
+// one live event past the accumulated clutter.
+func BenchmarkKernelTimerCancel(b *testing.B) {
+	e := sim.NewEngine(1)
+	nop := func(sim.Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(100, nop).Stop()
+		e.After(1, nop)
+		e.Step()
+	}
+}
 
 func BenchmarkHallScenarioEndToEnd(b *testing.B) {
 	b.ReportAllocs()

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run E1,E5] [-quick] [-seed N] [-list]
+//	experiments [-run E1,E5] [-quick] [-seed N] [-p workers] [-list]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"pervasive/internal/experiments"
+	"pervasive/internal/runner"
 )
 
 func main() {
@@ -23,6 +24,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	ablations := flag.Bool("ablations", false,
 		"include the A1–A6 design-choice ablations when running 'all'")
+	par := flag.Int("p", 1, "worker pool size for replications; 0 means all cores; "+
+		"output is byte-identical at every setting")
 	flag.Parse()
 
 	if *list {
@@ -49,7 +52,10 @@ func main() {
 		}
 	}
 
-	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick}
+	if *par == 0 {
+		*par = runner.AllCores()
+	}
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Parallelism: *par}
 	for _, e := range selected {
 		e.Run(cfg).Render(os.Stdout)
 	}

@@ -30,9 +30,20 @@ type StrobeChecker struct {
 	stamps     []clock.Vector // latest applied vector stamp per proc (nil = none)
 	lastSeq    []int
 	lastChange []change
+	// state is the checker's view pre-boxed as a predicate.State: Holds
+	// is called several times per strobe (once per apply plus the
+	// four-state race probes), and re-boxing checkerState at each call
+	// would allocate on the hot path. vals is never reassigned, so the
+	// boxed header stays valid.
+	state predicate.State
 	// recon reconstructs each sender's full vector from differential
 	// strobes (DiffVectorStrobe protocol); nil entries until first diff.
 	recon []clock.Vector
+	// stampBuf holds one reusable vector per proc for the differential
+	// path: the reconstruction is copied into the scratch buffer instead
+	// of cloned per strobe (the previous stamp of that proc is being
+	// replaced anyway, so no live reader aliases it).
+	stampBuf []clock.Vector
 
 	cur      bool
 	occ      []Occurrence
@@ -105,6 +116,7 @@ func newStrobeChecker(n int, pred predicate.Cond, raceAware bool) *StrobeChecker
 	for i := range c.vals {
 		c.vals[i] = make(map[string]float64)
 	}
+	c.state = checkerState{c.vals}
 	return c
 }
 
@@ -156,22 +168,27 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 	if m.Vec == nil && m.Sparse != nil {
 		if c.recon == nil {
 			c.recon = make([]clock.Vector, c.n)
+			c.stampBuf = make([]clock.Vector, c.n)
 		}
 		if c.recon[m.Proc] == nil {
 			c.recon[m.Proc] = clock.NewVector(c.n)
+			c.stampBuf[m.Proc] = clock.NewVector(c.n)
 		}
 		for _, e := range m.Sparse {
 			if e.Proc >= 0 && e.Proc < c.n && e.Val > c.recon[m.Proc][e.Proc] {
 				c.recon[m.Proc][e.Proc] = e.Val
 			}
 		}
-		m.Vec = c.recon[m.Proc].Clone()
+		// Copy into the per-proc scratch stamp rather than cloning: only
+		// c.stamps[m.Proc] can alias the buffer, and it is replaced below.
+		copy(c.stampBuf[m.Proc], c.recon[m.Proc])
+		m.Vec = c.stampBuf[m.Proc]
 	}
 
 	prev := c.vals[m.Proc][m.Var]
 	c.vals[m.Proc][m.Var] = m.Value
 	c.obsEvals.Inc()
-	settled := c.pred.Holds(checkerState{c.vals})
+	settled := c.pred.Holds(c.state)
 
 	race := false
 	if c.raceAware && m.Vec != nil {
@@ -220,10 +237,6 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 // window) and the observation is robust — e.g. two concurrent rises that
 // jointly push a sum over its threshold are correctly left unflagged.
 func (c *StrobeChecker) detectRace(m StrobeMsg, prevI float64) bool {
-	phi := func() bool {
-		c.obsEvals.Inc()
-		return c.pred.Holds(checkerState{c.vals})
-	}
 	for j := 0; j < c.n; j++ {
 		if j == m.Proc || c.stamps[j] == nil || !c.lastChange[j].valid {
 			continue
@@ -238,13 +251,13 @@ func (c *StrobeChecker) detectRace(m StrobeMsg, prevI float64) bool {
 		curJ := c.vals[j][ch.varName]
 		curI := c.vals[m.Proc][m.Var]
 
-		phi11 := phi()
+		phi11 := c.phi()
 		c.vals[j][ch.varName] = ch.prev // s10: only e
-		phi10 := phi()
+		phi10 := c.phi()
 		c.vals[m.Proc][m.Var] = prevI // s00: neither
-		phi00 := phi()
+		phi00 := c.phi()
 		c.vals[j][ch.varName] = curJ // s01: only e'
-		phi01 := phi()
+		phi01 := c.phi()
 		c.vals[m.Proc][m.Var] = curI // restore s11
 
 		if phi00 == phi11 && phi10 != phi01 {
@@ -252,6 +265,12 @@ func (c *StrobeChecker) detectRace(m StrobeMsg, prevI float64) bool {
 		}
 	}
 	return false
+}
+
+// phi evaluates the predicate against the checker's current view.
+func (c *StrobeChecker) phi() bool {
+	c.obsEvals.Inc()
+	return c.pred.Holds(c.state)
 }
 
 // Finish closes any open occurrence at the horizon. Further strobes are

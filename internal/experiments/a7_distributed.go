@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pervasive/internal/core"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 )
@@ -33,45 +34,62 @@ func A7DistributedCheckers(cfg RunConfig) *Table {
 	}
 	seeds := cfg.pick(5, 2)
 
-	for _, delta := range deltas {
+	type outcome struct {
+		pair, vsP0 []float64
+		conf       stats.Confusion
+	}
+	outcomes := runner.Map(cfg.Parallelism, len(deltas)*seeds, func(i int) outcome {
+		delta := deltas[i/seeds]
+		s := i % seeds
+		var delay sim.DelayModel = sim.Synchronous{}
+		if delta > 0 {
+			delay = sim.NewDeltaBounded(delta)
+		}
+		pw := pulseWorkload{
+			N: 4, K: 3,
+			MeanHigh: 400 * sim.Millisecond, MeanLow: 600 * sim.Millisecond,
+			Kind: core.VectorStrobe, Delay: delay,
+			Horizon: sim.Time(cfg.pick(40, 15)) * sim.Second,
+		}
+		h := pw.build(cfg.Seed + uint64(s))
+		// Attach a replica to every sensor.
+		replicas := make([]*core.StrobeChecker, pw.N)
+		for i, sn := range h.Sensors {
+			replicas[i] = core.NewVectorChecker(pw.N, pw.pred())
+			sn.Local = replicas[i]
+		}
+		res := h.Run()
+		horizon := res.Horizon
+		for _, r := range replicas {
+			r.Finish(horizon)
+		}
+		var o outcome
+		for i := 0; i < pw.N; i++ {
+			for j := i + 1; j < pw.N; j++ {
+				o.pair = append(o.pair, core.Divergence(replicas[i].Occurrences(),
+					replicas[j].Occurrences(), horizon))
+			}
+			o.vsP0 = append(o.vsP0, core.Divergence(replicas[i].Occurrences(),
+				res.Occurrences, horizon))
+		}
+		// Score replica 0 against ground truth like any detector.
+		o.conf = core.Score(replicas[0].Occurrences(), res.Truth, nil,
+			h.Cfg.Tol, horizon)
+		return o
+	})
+	for di, delta := range deltas {
 		var pair, worst, vsP0 stats.Online
 		var agg stats.Confusion
 		for s := 0; s < seeds; s++ {
-			var delay sim.DelayModel = sim.Synchronous{}
-			if delta > 0 {
-				delay = sim.NewDeltaBounded(delta)
+			o := outcomes[di*seeds+s]
+			for _, d := range o.pair {
+				pair.Add(d)
+				worst.Add(d)
 			}
-			pw := pulseWorkload{
-				N: 4, K: 3,
-				MeanHigh: 400 * sim.Millisecond, MeanLow: 600 * sim.Millisecond,
-				Kind: core.VectorStrobe, Delay: delay,
-				Horizon: sim.Time(cfg.pick(40, 15)) * sim.Second,
+			for _, d := range o.vsP0 {
+				vsP0.Add(d)
 			}
-			h := pw.build(cfg.Seed + uint64(s))
-			// Attach a replica to every sensor.
-			replicas := make([]*core.StrobeChecker, pw.N)
-			for i, sn := range h.Sensors {
-				replicas[i] = core.NewVectorChecker(pw.N, pw.pred())
-				sn.Local = replicas[i]
-			}
-			res := h.Run()
-			horizon := res.Horizon
-			for _, r := range replicas {
-				r.Finish(horizon)
-			}
-			for i := 0; i < pw.N; i++ {
-				for j := i + 1; j < pw.N; j++ {
-					d := core.Divergence(replicas[i].Occurrences(),
-						replicas[j].Occurrences(), horizon)
-					pair.Add(d)
-					worst.Add(d)
-				}
-				vsP0.Add(core.Divergence(replicas[i].Occurrences(),
-					res.Occurrences, horizon))
-			}
-			// Score replica 0 against ground truth like any detector.
-			agg.Add(core.Score(replicas[0].Occurrences(), res.Truth, nil,
-				h.Cfg.Tol, horizon))
+			agg.Add(o.conf)
 		}
 		t.AddRow(fmtDelta(sim.NewDeltaBounded(delta)), pair.Mean(), worst.Max(),
 			vsP0.Mean(), agg.Recall())

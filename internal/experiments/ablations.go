@@ -7,6 +7,7 @@ import (
 	"pervasive/internal/core"
 	"pervasive/internal/mac"
 	"pervasive/internal/network"
+	"pervasive/internal/runner"
 	"pervasive/internal/scenario"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
@@ -43,8 +44,8 @@ func A1BorderlinePolicy(cfg RunConfig) *Table {
 		Header: []string{"policy", "recall", "precision", "FP", "FN"},
 	}
 	seeds := cfg.pick(8, 3)
-	var pos, neg stats.Confusion
-	for s := 0; s < seeds; s++ {
+	type polPair struct{ pos, neg stats.Confusion }
+	pairs := runner.Map(cfg.Parallelism, seeds, func(s int) polPair {
 		hl := scenario.NewHall(scenario.HallConfig{
 			Seed: cfg.Seed + uint64(s), Doors: 4, Capacity: 60,
 			InitialOccupancy: 57,
@@ -54,7 +55,6 @@ func A1BorderlinePolicy(cfg RunConfig) *Table {
 			Horizon:          sim.Time(cfg.pick(120, 40)) * sim.Second,
 		})
 		res := hl.Run()
-		pos.Add(res.Confusion)
 
 		// Negative policy: drop borderline occurrences, rescore.
 		var strict []core.Occurrence
@@ -63,7 +63,15 @@ func A1BorderlinePolicy(cfg RunConfig) *Table {
 				strict = append(strict, o)
 			}
 		}
-		neg.Add(core.Score(strict, res.Truth, nil, hl.Harness.Cfg.Tol, res.Horizon))
+		return polPair{
+			pos: res.Confusion,
+			neg: core.Score(strict, res.Truth, nil, hl.Harness.Cfg.Tol, res.Horizon),
+		}
+	})
+	var pos, neg stats.Confusion
+	for _, p := range pairs {
+		pos.Add(p.pos)
+		neg.Add(p.neg)
 	}
 	t.AddRow("borderline = positive", pos.Recall(), pos.Precision(), pos.FP, pos.FN)
 	t.AddRow("borderline = negative", neg.Recall(), neg.Precision(), neg.FP, neg.FN)
@@ -86,8 +94,11 @@ func A2RaceCriterion(cfg RunConfig) *Table {
 	}
 	seeds := cfg.pick(6, 2)
 	run := func(naive bool) (occ, flagged, tpFlagged int64, cov float64) {
-		var agg stats.Confusion
-		for s := 0; s < seeds; s++ {
+		type counts struct {
+			conf         stats.Confusion
+			occ, flagged int64
+		}
+		perSeed := runner.Map(cfg.Parallelism, seeds, func(s int) counts {
 			pw := pulseWorkload{
 				N: 5, K: 3,
 				MeanHigh: 400 * sim.Millisecond, MeanLow: 600 * sim.Millisecond,
@@ -98,13 +109,20 @@ func A2RaceCriterion(cfg RunConfig) *Table {
 			h := pw.build(cfg.Seed + uint64(s))
 			h.StrobeCk.NaiveRace = naive
 			res := h.Run()
-			agg.Add(res.Confusion)
+			c := counts{conf: res.Confusion}
 			for _, o := range res.Occurrences {
-				occ++
+				c.occ++
 				if o.Borderline {
-					flagged++
+					c.flagged++
 				}
 			}
+			return c
+		})
+		var agg stats.Confusion
+		for _, c := range perSeed {
+			agg.Add(c.conf)
+			occ += c.occ
+			flagged += c.flagged
 		}
 		// TP-flagged approximation: flagged minus the flagged errors.
 		tpFlagged = flagged - agg.BorderlineFP
@@ -138,29 +156,40 @@ func A3BroadcastStrategy(cfg RunConfig) *Table {
 		Header: []string{"strategy", "link msgs", "bytes", "recall", "precision"},
 	}
 	seeds := cfg.pick(5, 2)
-	for _, flood := range []bool{false, true} {
+	floods := []bool{false, true}
+	type netOutcome struct {
+		conf        stats.Confusion
+		msgs, bytes int64
+	}
+	outcomes := runner.Map(cfg.Parallelism, len(floods)*seeds, func(i int) netOutcome {
+		flood := floods[i/seeds]
+		s := i % seeds
+		n := 10
+		// Sparse but connected overlay shared by both strategies.
+		var topo network.Topology = network.RandomGeometric(
+			stats.NewRNG(cfg.Seed+uint64(s)), n+1, 0.45)
+		if !network.IsConnectedGraph(topo) {
+			topo = network.Ring{Nodes: n + 1}
+		}
+		pw := pulseWorkload{
+			N: n, K: n/2 + 1,
+			MeanHigh: 500 * sim.Millisecond, MeanLow: 700 * sim.Millisecond,
+			Kind:    core.VectorStrobe,
+			Delay:   sim.NewDeltaBounded(30 * sim.Millisecond), // per hop when flooding
+			Horizon: sim.Time(cfg.pick(40, 15)) * sim.Second,
+			Topo:    topo, Flood: flood,
+		}
+		res := pw.run(cfg.Seed + uint64(s))
+		return netOutcome{conf: res.Confusion, msgs: res.Net.Sent, bytes: res.Net.Bytes}
+	})
+	for fi, flood := range floods {
 		var agg stats.Confusion
 		var msgs, bytes int64
 		for s := 0; s < seeds; s++ {
-			n := 10
-			// Sparse but connected overlay shared by both strategies.
-			var topo network.Topology = network.RandomGeometric(
-				stats.NewRNG(cfg.Seed+uint64(s)), n+1, 0.45)
-			if !network.IsConnectedGraph(topo) {
-				topo = network.Ring{Nodes: n + 1}
-			}
-			pw := pulseWorkload{
-				N: n, K: n/2 + 1,
-				MeanHigh: 500 * sim.Millisecond, MeanLow: 700 * sim.Millisecond,
-				Kind:    core.VectorStrobe,
-				Delay:   sim.NewDeltaBounded(30 * sim.Millisecond), // per hop when flooding
-				Horizon: sim.Time(cfg.pick(40, 15)) * sim.Second,
-				Topo:    topo, Flood: flood,
-			}
-			res := pw.run(cfg.Seed + uint64(s))
-			agg.Add(res.Confusion)
-			msgs += res.Net.Sent
-			bytes += res.Net.Bytes
+			o := outcomes[fi*seeds+s]
+			agg.Add(o.conf)
+			msgs += o.msgs
+			bytes += o.bytes
 		}
 		name := "direct"
 		if flood {
@@ -184,34 +213,57 @@ func A4DiffCompression(cfg RunConfig) *Table {
 	}
 	r := stats.NewRNG(cfg.Seed)
 	const steps = 2000
-	for _, wl := range []struct {
+	workloads := []struct {
 		name string
 		hot  float64 // probability the hot node fires
 	}{
 		{"uniform", 0}, {"hot-spot 50%", 0.5}, {"hot-spot 90%", 0.9},
-	} {
-		for _, n := range []int{8, 32} {
-			diff := make([]*clock.DiffStrobeVector, n)
-			for i := range diff {
-				diff[i] = clock.NewDiffStrobeVector(i, n)
-			}
-			var diffBytes, fullBytes int64
-			for step := 0; step < steps; step++ {
+	}
+	sizes := []int{8, 32}
+	// The source draws share one RNG stream across every (workload, n)
+	// cell, so pre-draw each cell's src sequence sequentially in sweep
+	// order; the strobe replays are then independent and fan out.
+	srcSeqs := make([][]int, 0, len(workloads)*len(sizes))
+	for _, wl := range workloads {
+		for _, n := range sizes {
+			srcs := make([]int, steps)
+			for step := range srcs {
 				src := r.Intn(n)
 				if wl.hot > 0 && r.Bool(wl.hot) {
 					src = 0
 				}
-				ds := diff[src].Strobe()
-				diffBytes += int64(ds.WireBytes())
-				fullBytes += int64(8 * n)
-				for j := 0; j < n; j++ {
-					if j != src {
-						diff[j].OnStrobe(ds)
-					}
+				srcs[step] = src
+			}
+			srcSeqs = append(srcSeqs, srcs)
+		}
+	}
+	type wire struct{ full, diff int64 }
+	wires := runner.Map(cfg.Parallelism, len(srcSeqs), func(ci int) wire {
+		n := sizes[ci%len(sizes)]
+		diff := make([]*clock.DiffStrobeVector, n)
+		for i := range diff {
+			diff[i] = clock.NewDiffStrobeVector(i, n)
+		}
+		var w wire
+		for _, src := range srcSeqs[ci] {
+			ds := diff[src].Strobe()
+			w.diff += int64(ds.WireBytes())
+			w.full += int64(8 * n)
+			for j := 0; j < n; j++ {
+				if j != src {
+					diff[j].OnStrobe(ds)
 				}
 			}
-			t.AddRow(wl.name, n, steps, fullBytes, diffBytes,
-				float64(diffBytes)/float64(fullBytes))
+		}
+		return w
+	})
+	ci := 0
+	for _, wl := range workloads {
+		for _, n := range sizes {
+			w := wires[ci]
+			ci++
+			t.AddRow(wl.name, n, steps, w.full, w.diff,
+				float64(w.diff)/float64(w.full))
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -236,31 +288,41 @@ func A5PhysicalSlack(cfg RunConfig) *Table {
 		slacks = []sim.Duration{sim.Millisecond, 120 * sim.Millisecond}
 	}
 	seeds := cfg.pick(6, 2)
-	for _, slack := range slacks {
+	type slackOutcome struct {
+		conf      stats.Confusion
+		reordered int64
+	}
+	outcomes := runner.Map(cfg.Parallelism, len(slacks)*seeds, func(i int) slackOutcome {
+		slack := slacks[i/seeds]
+		s := i % seeds
+		pw := pulseWorkload{
+			N: 4, K: 3,
+			MeanHigh: 300 * sim.Millisecond, MeanLow: 400 * sim.Millisecond,
+			Kind: core.PhysicalReport, Epsilon: sim.Millisecond,
+			Delay:   sim.NewDeltaBounded(delta),
+			Horizon: sim.Time(cfg.pick(60, 20)) * sim.Second,
+		}
+		h := core.NewHarness(core.HarnessConfig{
+			Seed: cfg.Seed + uint64(s), N: pw.N, Kind: pw.Kind,
+			Delay: pw.Delay, Pred: pw.pred(), Epsilon: pw.Epsilon,
+			Slack: slack, Horizon: pw.Horizon,
+		})
+		for i := 0; i < pw.N; i++ {
+			obj := h.World.AddObject(fmt.Sprintf("obj-%d", i), nil)
+			h.Bind(i, obj, "p", "p")
+			world.Toggler{Obj: obj, Attr: "p", MeanHigh: pw.MeanHigh,
+				MeanLow: pw.MeanLow}.Install(h.World, pw.Horizon)
+		}
+		res := h.Run()
+		return slackOutcome{conf: res.Confusion, reordered: h.PhysCk.Reordered}
+	})
+	for si, slack := range slacks {
 		var agg stats.Confusion
 		var reordered int64
 		for s := 0; s < seeds; s++ {
-			pw := pulseWorkload{
-				N: 4, K: 3,
-				MeanHigh: 300 * sim.Millisecond, MeanLow: 400 * sim.Millisecond,
-				Kind: core.PhysicalReport, Epsilon: sim.Millisecond,
-				Delay:   sim.NewDeltaBounded(delta),
-				Horizon: sim.Time(cfg.pick(60, 20)) * sim.Second,
-			}
-			h := core.NewHarness(core.HarnessConfig{
-				Seed: cfg.Seed + uint64(s), N: pw.N, Kind: pw.Kind,
-				Delay: pw.Delay, Pred: pw.pred(), Epsilon: pw.Epsilon,
-				Slack: slack, Horizon: pw.Horizon,
-			})
-			for i := 0; i < pw.N; i++ {
-				obj := h.World.AddObject(fmt.Sprintf("obj-%d", i), nil)
-				h.Bind(i, obj, "p", "p")
-				world.Toggler{Obj: obj, Attr: "p", MeanHigh: pw.MeanHigh,
-					MeanLow: pw.MeanLow}.Install(h.World, pw.Horizon)
-			}
-			res := h.Run()
-			agg.Add(res.Confusion)
-			reordered += h.PhysCk.Reordered
+			o := outcomes[si*seeds+s]
+			agg.Add(o.conf)
+			reordered += o.reordered
 		}
 		t.AddRow(slack, reordered, agg.Recall(), agg.Precision())
 	}
@@ -281,13 +343,20 @@ func A6DutyCycle(cfg RunConfig) *Table {
 		Header: []string{"mode", "drift", "overlap", "awake-frac", "beacons"},
 	}
 	horizon := sim.Time(cfg.pick(30, 8)) * sim.Minute
-	for _, drift := range []float64{0, 40, 80} {
-		for _, syn := range []bool{false, true} {
-			res := mac.Run(mac.Config{
-				N: 6, Seed: cfg.Seed, Period: sim.Second,
-				Window: 100 * sim.Millisecond, DriftPPM: drift,
-				Sync: syn, ScanEvery: 16, Horizon: horizon,
-			})
+	drifts := []float64{0, 40, 80}
+	syncs := []bool{false, true}
+	results := runner.Map(cfg.Parallelism, len(drifts)*len(syncs), func(i int) mac.Result {
+		return mac.Run(mac.Config{
+			N: 6, Seed: cfg.Seed, Period: sim.Second,
+			Window: 100 * sim.Millisecond, DriftPPM: drifts[i/len(syncs)],
+			Sync: syncs[i%len(syncs)], ScanEvery: 16, Horizon: horizon,
+		})
+	})
+	i := 0
+	for _, drift := range drifts {
+		for _, syn := range syncs {
+			res := results[i]
+			i++
 			mode := "free-running"
 			if syn {
 				mode = "beacon-sync"

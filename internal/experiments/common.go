@@ -63,6 +63,14 @@ func (pw pulseWorkload) run(seed uint64) core.Results {
 	return pw.build(seed).Run()
 }
 
+// runSeeds runs the workload at seeds base..base+n-1 across cfg's worker
+// pool, returning results in seed order.
+func (pw pulseWorkload) runSeeds(cfg RunConfig, n int) []core.Results {
+	return core.RunMany(cfg.Parallelism, n, func(s int) *core.Harness {
+		return pw.build(cfg.Seed + uint64(s))
+	})
+}
+
 // trimExecution cuts every process's stamp sequence to its first p events
 // and clamps stamp components to the kept prefix lengths (an event that
 // knew more than p events of a peer knows "all kept ones" in the trimmed

@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+// The parallel runner's whole contract is that parallelism is invisible
+// in the output: tables rendered at any worker count must be
+// byte-identical to the sequential run. E1 exercises the plain
+// flatten-and-aggregate pattern; A4 exercises the pre-drawn shared-RNG
+// pattern (one stream feeding every sweep cell).
+func TestTablesByteIdenticalAcrossParallelism(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(RunConfig) *Table
+	}{
+		{"E1", E1StrobeAccuracy},
+		{"A4", A4DiffCompression},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := RunConfig{Seed: 1, Quick: true, Parallelism: 1}
+			want := tc.run(base).String()
+			for _, par := range []int{2, 8} {
+				cfg := base
+				cfg.Parallelism = par
+				if got := tc.run(cfg).String(); got != want {
+					t.Errorf("parallelism %d: table diverges from sequential\n--- p=1 ---\n%s--- p=%d ---\n%s",
+						par, want, par, got)
+				}
+			}
+		})
+	}
+}

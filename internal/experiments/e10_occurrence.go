@@ -3,6 +3,7 @@ package experiments
 import (
 	"pervasive/internal/core"
 	"pervasive/internal/predicate"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/world"
 )
@@ -26,7 +27,8 @@ func E10EveryOccurrence(cfg RunConfig) *Table {
 	horizon := sim.Time(cfg.pick(120, 40)) * sim.Second
 
 	run := func(once bool) (truth, detected int64) {
-		for s := 0; s < seeds; s++ {
+		type counts struct{ truth, detected int64 }
+		perSeed := runner.Map(cfg.Parallelism, seeds, func(s int) counts {
 			local := predicate.MustParse("p@0 == 1")
 			n := 2
 			h := core.NewHarness(core.HarnessConfig{
@@ -45,8 +47,11 @@ func E10EveryOccurrence(cfg RunConfig) *Table {
 					MeanHigh: 4 * sim.Second, MeanLow: sim.Second}.Install(h.World, horizon)
 			}
 			res := h.Run()
-			truth += int64(len(res.Truth))
-			detected += int64(len(res.Occurrences))
+			return counts{int64(len(res.Truth)), int64(len(res.Occurrences))}
+		})
+		for _, c := range perSeed {
+			truth += c.truth
+			detected += c.detected
 		}
 		return truth, detected
 	}

@@ -6,6 +6,7 @@ import (
 	"pervasive/internal/clock"
 	"pervasive/internal/core"
 	"pervasive/internal/predicate"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 	"pervasive/internal/world"
@@ -37,15 +38,20 @@ func E11HiddenChannels(cfg RunConfig) *Table {
 	}
 	seeds := cfg.pick(5, 2)
 
-	for _, rv := range ratios {
+	perRun := runner.Map(cfg.Parallelism, len(ratios)*seeds, func(i int) [3]int64 {
+		d := sim.Duration(ratios[i/seeds] * float64(delta))
+		p, r, inv := hiddenChannelRun(cfg.Seed+uint64(i%seeds), delta, d,
+			sim.Time(cfg.pick(60, 20))*sim.Second)
+		return [3]int64{p, r, inv}
+	})
+	for ri, rv := range ratios {
 		d := sim.Duration(rv * float64(delta))
 		var pairs, recovered, inverted int64
 		for s := 0; s < seeds; s++ {
-			p, r, inv := hiddenChannelRun(cfg.Seed+uint64(s), delta, d,
-				sim.Time(cfg.pick(60, 20))*sim.Second)
-			pairs += p
-			recovered += r
-			inverted += inv
+			c := perRun[ri*seeds+s]
+			pairs += c[0]
+			recovered += c[1]
+			inverted += c[2]
 		}
 		t.AddRow(d, fmt.Sprintf("%.1f", rv), pairs, recovered,
 			ratio(recovered, pairs), inverted)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pervasive/internal/core"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 )
 
@@ -31,7 +32,14 @@ func E12FalseCausality(cfg RunConfig) *Table {
 	}
 
 	const n, p = 3, 4
-	for _, delta := range deltas {
+	type outcome struct {
+		ok                         bool
+		delay                      sim.DelayModel
+		cross, ordered             int64
+		strobeLattice, trueLattice int64
+	}
+	outcomes := runner.Map(cfg.Parallelism, len(deltas), func(di int) outcome {
+		delta := deltas[di]
 		var delay sim.DelayModel = sim.Synchronous{}
 		if delta > 0 {
 			delay = sim.NewDeltaBounded(delta)
@@ -46,32 +54,37 @@ func E12FalseCausality(cfg RunConfig) *Table {
 		h.Run()
 		ex := h.LatticeExecution()
 		if !trimExecution(ex.Stamps, ex.Times, p) {
-			continue
+			return outcome{}
 		}
 
 		// The world events are independent (pure togglers, no covert
 		// rules): every cross-process pair is truly concurrent. Count how
 		// many of them the strobe stamps order.
-		var cross, ordered int64
+		o := outcome{ok: true, delay: delay, trueLattice: 1}
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				for _, si := range ex.Stamps[i] {
 					for _, sj := range ex.Stamps[j] {
-						cross++
+						o.cross++
 						if !si.ConcurrentWith(sj) {
-							ordered++
+							o.ordered++
 						}
 					}
 				}
 			}
 		}
-		strobeLattice := ex.CountConsistent(0)
-		trueLattice := int64(1)
+		o.strobeLattice = ex.CountConsistent(0)
 		for i := 0; i < n; i++ {
-			trueLattice *= int64(len(ex.Stamps[i]) + 1)
+			o.trueLattice *= int64(len(ex.Stamps[i]) + 1)
 		}
-		t.AddRow(fmtDelta(delay), cross, ordered, ratio(ordered, cross),
-			strobeLattice, trueLattice)
+		return o
+	})
+	for _, o := range outcomes {
+		if !o.ok {
+			continue
+		}
+		t.AddRow(fmtDelta(o.delay), o.cross, o.ordered, ratio(o.ordered, o.cross),
+			o.strobeLattice, o.trueLattice)
 	}
 	t.Notes = append(t.Notes,
 		"all world events here are causally independent; any strobe-imposed order is false causality",

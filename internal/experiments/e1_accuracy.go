@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pervasive/internal/core"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 )
@@ -47,21 +48,43 @@ func E1StrobeAccuracy(cfg RunConfig) *Table {
 		{"physical(ε=1ms)", core.PhysicalReport},
 	}
 
+	// Flatten the delta × kind × seed sweep into one indexed job list so
+	// every replication fans out; aggregation walks the results in job
+	// order, keeping the table byte-identical at any parallelism.
+	type job struct {
+		delta sim.Duration
+		kind  core.ClockKind
+		seed  uint64
+	}
+	var jobs []job
+	for _, delta := range deltas {
+		for _, k := range kinds {
+			for s := 0; s < seeds; s++ {
+				jobs = append(jobs, job{delta, k.kind, cfg.Seed + uint64(s)})
+			}
+		}
+	}
+	results := runner.Map(cfg.Parallelism, len(jobs), func(i int) stats.Confusion {
+		j := jobs[i]
+		pw := pulseWorkload{
+			N: 6, K: 4,
+			MeanHigh: 300 * sim.Millisecond, MeanLow: 500 * sim.Millisecond,
+			Kind:    j.kind,
+			Delay:   sim.NewDeltaBounded(j.delta),
+			Horizon: horizon,
+		}
+		if j.kind == core.PhysicalReport {
+			pw.Epsilon = sim.Millisecond
+		}
+		return pw.run(j.seed).Confusion
+	})
+	i := 0
 	for _, delta := range deltas {
 		for _, k := range kinds {
 			var agg stats.Confusion
 			for s := 0; s < seeds; s++ {
-				pw := pulseWorkload{
-					N: 6, K: 4,
-					MeanHigh: 300 * sim.Millisecond, MeanLow: 500 * sim.Millisecond,
-					Kind:    k.kind,
-					Delay:   sim.NewDeltaBounded(delta),
-					Horizon: horizon,
-				}
-				if k.kind == core.PhysicalReport {
-					pw.Epsilon = sim.Millisecond
-				}
-				agg.Add(pw.run(cfg.Seed + uint64(s)).Confusion)
+				agg.Add(results[i])
+				i++
 			}
 			t.AddRow(delta, k.name,
 				agg.Recall(), agg.Precision(), agg.FN, agg.FP,

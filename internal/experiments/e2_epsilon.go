@@ -6,6 +6,7 @@ import (
 	"pervasive/internal/clock"
 	"pervasive/internal/core"
 	"pervasive/internal/predicate"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 )
@@ -32,11 +33,19 @@ func E2TwoEpsilon(cfg RunConfig) *Table {
 	pred := predicate.MustParse("x@0 == 1 && x@1 == 1")
 	rng := stats.NewRNG(cfg.Seed + 99)
 
-	for _, ratioV := range ratios {
+	// The clock fleets share one RNG stream across every trial, so draw
+	// them sequentially in (ratio, trial) order before fanning out; the
+	// simulated trials themselves are independent and parallelize freely.
+	fleets := make([][]clock.EpsilonSynced, len(ratios)*trials)
+	for i := range fleets {
+		fleets[i] = clock.NewEpsilonFleet(rng, 2, eps)
+	}
+
+	for ri, ratioV := range ratios {
 		overlap := sim.Duration(ratioV * float64(eps))
-		var fn, fp int
-		for trial := 0; trial < trials; trial++ {
-			fleet := clock.NewEpsilonFleet(rng, 2, eps)
+		type outcome struct{ fn, fp bool }
+		outcomes := runner.Map(cfg.Parallelism, trials, func(trial int) outcome {
+			fleet := fleets[ri*trials+trial]
 			eng := sim.NewEngine(uint64(trial))
 			checker := core.NewPhysicalChecker(eng, 2, pred, 50*sim.Millisecond)
 
@@ -67,10 +76,14 @@ func E2TwoEpsilon(cfg RunConfig) *Table {
 			eng.RunAll()
 			checker.Finish(sim.Second)
 			occ := checker.Occurrences()
-			if len(occ) == 0 {
+			return outcome{fn: len(occ) == 0, fp: len(occ) > 1}
+		})
+		var fn, fp int
+		for _, o := range outcomes {
+			if o.fn {
 				fn++
 			}
-			if len(occ) > 1 {
+			if o.fp {
 				fp++
 			}
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pervasive/internal/core"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 )
@@ -34,27 +35,49 @@ func E3SlimLattice(cfg RunConfig) *Table {
 	}
 	seeds := cfg.pick(5, 2)
 
-	for _, reg := range regimes {
+	// One job per (regime, seed); the ordered walk below reproduces the
+	// sequential aggregation (Online means in seed order, `possible` from
+	// the last seed whose execution survived trimming).
+	type outcome struct {
+		ok          bool
+		cuts, width float64
+		possible    int64
+	}
+	outcomes := runner.Map(cfg.Parallelism, len(regimes)*seeds, func(i int) outcome {
+		reg := regimes[i/seeds]
+		s := i % seeds
+		// Run long enough to collect ≥ p events per sensor, then trim.
+		pw := pulseWorkload{
+			N: n, K: n, // predicate irrelevant here
+			MeanHigh: 400 * sim.Millisecond, MeanLow: 600 * sim.Millisecond,
+			Kind: core.VectorStrobe, Delay: reg.delay,
+			Horizon:   30 * sim.Second,
+			LogStamps: true,
+		}
+		h := pw.build(cfg.Seed + uint64(s))
+		h.Run()
+		ex := h.LatticeExecution()
+		if !trimExecution(ex.Stamps, ex.Times, p) {
+			return outcome{}
+		}
+		return outcome{
+			ok:       true,
+			cuts:     float64(ex.CountConsistent(0)),
+			width:    float64(ex.Width()),
+			possible: ex.NumCuts(),
+		}
+	})
+	for ri, reg := range regimes {
 		var cuts, width stats.Online
 		var possible int64
 		for s := 0; s < seeds; s++ {
-			// Run long enough to collect ≥ p events per sensor, then trim.
-			pw := pulseWorkload{
-				N: n, K: n, // predicate irrelevant here
-				MeanHigh: 400 * sim.Millisecond, MeanLow: 600 * sim.Millisecond,
-				Kind: core.VectorStrobe, Delay: reg.delay,
-				Horizon:   30 * sim.Second,
-				LogStamps: true,
-			}
-			h := pw.build(cfg.Seed + uint64(s))
-			h.Run()
-			ex := h.LatticeExecution()
-			if !trimExecution(ex.Stamps, ex.Times, p) {
+			o := outcomes[ri*seeds+s]
+			if !o.ok {
 				continue
 			}
-			cuts.Add(float64(ex.CountConsistent(0)))
-			width.Add(float64(ex.Width()))
-			possible = ex.NumCuts()
+			cuts.Add(o.cuts)
+			width.Add(o.width)
+			possible = o.possible
 		}
 		t.AddRow(reg.name, fmtDelta(reg.delay),
 			cuts.Mean(), possible, width.Mean())

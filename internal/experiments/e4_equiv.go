@@ -5,6 +5,7 @@ import (
 
 	"pervasive/internal/clock"
 	"pervasive/internal/core"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 )
@@ -28,7 +29,8 @@ func E4ScalarVectorEquivalence(cfg RunConfig) *Table {
 	seeds := cfg.pick(8, 3)
 
 	compare := func(delay sim.DelayModel) (identical int, vecErrs, scaErrs int64) {
-		for s := 0; s < seeds; s++ {
+		type pair struct{ v, sc stats.Confusion }
+		pairs := runner.Map(cfg.Parallelism, seeds, func(s int) pair {
 			mk := func(kind core.ClockKind) stats.Confusion {
 				return pulseWorkload{
 					N: 4, K: 3,
@@ -37,8 +39,10 @@ func E4ScalarVectorEquivalence(cfg RunConfig) *Table {
 					Horizon: sim.Time(cfg.pick(60, 15)) * sim.Second,
 				}.run(cfg.Seed + uint64(s)).Confusion
 			}
-			v := mk(core.VectorStrobe)
-			sc := mk(core.ScalarStrobe)
+			return pair{v: mk(core.VectorStrobe), sc: mk(core.ScalarStrobe)}
+		})
+		for _, p := range pairs {
+			v, sc := p.v, p.sc
 			if v.TP == sc.TP && v.FP == sc.FP && v.FN == sc.FN {
 				identical++
 			}

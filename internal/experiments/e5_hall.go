@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"pervasive/internal/runner"
 	"pervasive/internal/scenario"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
@@ -29,22 +30,46 @@ func E5ExhibitionHall(cfg RunConfig) *Table {
 	}
 	seeds := cfg.pick(6, 2)
 
+	deltas := []sim.Duration{50 * sim.Millisecond, 300 * sim.Millisecond}
+	type job struct {
+		doors int
+		delta sim.Duration
+		seed  uint64
+	}
+	var jobs []job
 	for _, d := range doorCounts {
-		for _, delta := range []sim.Duration{50 * sim.Millisecond, 300 * sim.Millisecond} {
+		for _, delta := range deltas {
+			for s := 0; s < seeds; s++ {
+				jobs = append(jobs, job{d, delta, cfg.Seed + uint64(s)})
+			}
+		}
+	}
+	type outcome struct {
+		conf   stats.Confusion
+		truths int
+	}
+	outcomes := runner.Map(cfg.Parallelism, len(jobs), func(i int) outcome {
+		j := jobs[i]
+		hl := scenario.NewHall(scenario.HallConfig{
+			Seed: j.seed, Doors: j.doors,
+			Capacity: 200, InitialOccupancy: 197,
+			MeanArrival: 120 * sim.Millisecond,
+			MeanStay:    20 * sim.Second,
+			Delay:       sim.NewDeltaBounded(j.delta),
+			Horizon:     sim.Time(cfg.pick(180, 45)) * sim.Second,
+		})
+		res := hl.Run()
+		return outcome{conf: res.Confusion, truths: len(res.Truth)}
+	})
+	i := 0
+	for _, d := range doorCounts {
+		for _, delta := range deltas {
 			var agg stats.Confusion
 			truths := 0
 			for s := 0; s < seeds; s++ {
-				hl := scenario.NewHall(scenario.HallConfig{
-					Seed: cfg.Seed + uint64(s), Doors: d,
-					Capacity: 200, InitialOccupancy: 197,
-					MeanArrival: 120 * sim.Millisecond,
-					MeanStay:    20 * sim.Second,
-					Delay:       sim.NewDeltaBounded(delta),
-					Horizon:     sim.Time(cfg.pick(180, 45)) * sim.Second,
-				})
-				res := hl.Run()
-				agg.Add(res.Confusion)
-				truths += len(res.Truth)
+				agg.Add(outcomes[i].conf)
+				truths += outcomes[i].truths
+				i++
 			}
 			t.AddRow(d, delta, truths, agg.Recall(), agg.Precision(),
 				agg.FP, agg.FN, agg.BorderlineCoverage())

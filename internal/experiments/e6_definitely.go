@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pervasive/internal/predicate"
+	"pervasive/internal/runner"
 	"pervasive/internal/scenario"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
@@ -29,20 +30,24 @@ func E6DefinitelyUnderDelay(cfg RunConfig) *Table {
 	}
 	seeds := cfg.pick(6, 2)
 
-	for _, m := range multipliers {
+	results := runner.Map(cfg.Parallelism, len(multipliers)*seeds, func(i int) stats.Confusion {
+		delta := base * sim.Duration(multipliers[i/seeds])
+		of := scenario.NewOffice(scenario.OfficeConfig{
+			Seed: cfg.Seed + uint64(i%seeds), Rooms: 1,
+			Modality: predicate.Definitely,
+			Delay:    sim.NewDeltaBounded(delta),
+			Horizon:  sim.Time(cfg.pick(300, 60)) * sim.Second,
+			// Long dwell times: human-scale context changes.
+			MeanOccupied: 10 * sim.Second, MeanEmpty: 5 * sim.Second,
+			MeanTempStep: sim.Second,
+		})
+		return of.Run().Confusion
+	})
+	for mi, m := range multipliers {
 		delta := base * sim.Duration(m)
 		var agg stats.Confusion
 		for s := 0; s < seeds; s++ {
-			of := scenario.NewOffice(scenario.OfficeConfig{
-				Seed: cfg.Seed + uint64(s), Rooms: 1,
-				Modality: predicate.Definitely,
-				Delay:    sim.NewDeltaBounded(delta),
-				Horizon:  sim.Time(cfg.pick(300, 60)) * sim.Second,
-				// Long dwell times: human-scale context changes.
-				MeanOccupied: 10 * sim.Second, MeanEmpty: 5 * sim.Second,
-				MeanTempStep: sim.Second,
-			})
-			agg.Add(of.Run().Confusion)
+			agg.Add(results[mi*seeds+s])
 		}
 		t.AddRow(delta, fmt.Sprintf("×%d", m),
 			agg.TP+agg.FN, agg.TP, agg.Recall())

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pervasive/internal/core"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 )
 
@@ -25,28 +26,40 @@ func E7MessageOverhead(cfg RunConfig) *Table {
 		sizes = []int{4, 16}
 	}
 
-	for _, n := range sizes {
-		for _, k := range []struct {
-			name string
-			kind core.ClockKind
-		}{
-			{"strobe-scalar", core.ScalarStrobe},
-			{"strobe-vector", core.VectorStrobe},
-			{"strobe-diff-vector", core.DiffVectorStrobe},
-			{"physical-report", core.PhysicalReport},
-		} {
-			pw := pulseWorkload{
-				N: n, K: n/2 + 1,
-				MeanHigh: 300 * sim.Millisecond, MeanLow: 300 * sim.Millisecond,
-				Kind: k.kind, Delay: sim.NewDeltaBounded(20 * sim.Millisecond),
-				Epsilon: sim.Millisecond,
-				Horizon: sim.Time(cfg.pick(20, 5)) * sim.Second,
-			}
-			h := pw.build(cfg.Seed)
-			res := h.Run()
-			events := int64(len(h.World.Log()))
-			t.AddRow(n, k.name, events, res.Net.Sent, res.Net.Bytes,
-				ratio(res.Net.Bytes, events), ratio(res.Net.Sent, events))
+	kinds := []struct {
+		name string
+		kind core.ClockKind
+	}{
+		{"strobe-scalar", core.ScalarStrobe},
+		{"strobe-vector", core.VectorStrobe},
+		{"strobe-diff-vector", core.DiffVectorStrobe},
+		{"physical-report", core.PhysicalReport},
+	}
+	type outcome struct {
+		events, sent, bytes int64
+	}
+	outcomes := runner.Map(cfg.Parallelism, len(sizes)*len(kinds), func(i int) outcome {
+		n := sizes[i/len(kinds)]
+		k := kinds[i%len(kinds)]
+		pw := pulseWorkload{
+			N: n, K: n/2 + 1,
+			MeanHigh: 300 * sim.Millisecond, MeanLow: 300 * sim.Millisecond,
+			Kind: k.kind, Delay: sim.NewDeltaBounded(20 * sim.Millisecond),
+			Epsilon: sim.Millisecond,
+			Horizon: sim.Time(cfg.pick(20, 5)) * sim.Second,
+		}
+		h := pw.build(cfg.Seed)
+		res := h.Run()
+		return outcome{
+			events: int64(len(h.World.Log())),
+			sent:   res.Net.Sent, bytes: res.Net.Bytes,
+		}
+	})
+	for ni, n := range sizes {
+		for ki, k := range kinds {
+			o := outcomes[ni*len(kinds)+ki]
+			t.AddRow(n, k.name, o.events, o.sent, o.bytes,
+				ratio(o.bytes, o.events), ratio(o.sent, o.events))
 		}
 	}
 	t.Notes = append(t.Notes,

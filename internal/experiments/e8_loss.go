@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pervasive/internal/core"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/world"
 )
@@ -39,9 +40,10 @@ func E8LossLocalization(cfg RunConfig) *Table {
 		{"vicinity", lossFrom, lossTo + 5*sim.Second},
 		{"after", lossTo + 5*sim.Second, horizon},
 	}
-	counts := make(map[string][3]int) // phase -> {truth, matchedClean, matchedLossy}
-
-	for s := 0; s < seeds; s++ {
+	// Each seed runs its clean+lossy pair and phase-matching in one job;
+	// the per-phase counts {truth, matchedClean, matchedLossy} sum in seed
+	// order afterwards.
+	perSeed := runner.Map(cfg.Parallelism, seeds, func(s int) [3][3]int {
 		mk := func(lossy bool) core.Results {
 			var delay sim.DelayModel = sim.NewDeltaBounded(20 * sim.Millisecond)
 			if lossy {
@@ -66,25 +68,30 @@ func E8LossLocalization(cfg RunConfig) *Table {
 			}
 			return false
 		}
-		for _, ph := range phases {
-			c := counts[ph.name]
+		var c [3][3]int
+		for pi, ph := range phases {
 			for _, tv := range clean.Truth {
 				if tv.Start < ph.from || tv.Start >= ph.to {
 					continue
 				}
-				c[0]++
+				c[pi][0]++
 				if matched(clean, tv) {
-					c[1]++
+					c[pi][1]++
 				}
 				if matched(lossy, tv) {
-					c[2]++
+					c[pi][2]++
 				}
 			}
-			counts[ph.name] = c
 		}
-	}
-	for _, ph := range phases {
-		c := counts[ph.name]
+		return c
+	})
+	for pi, ph := range phases {
+		var c [3]int
+		for _, sc := range perSeed {
+			for k := 0; k < 3; k++ {
+				c[k] += sc[pi][k]
+			}
+		}
 		t.AddRow(ph.name, c[0], c[1], c[2], c[1]-c[2])
 	}
 	t.Notes = append(t.Notes,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pervasive/internal/clocksync"
+	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 )
@@ -37,19 +38,27 @@ func E9ClockSyncCost(cfg RunConfig) *Table {
 		{"TPSN", clocksync.TPSN},
 		{"on-demand", clocksync.OnDemand},
 	}
+	results := runner.Map(cfg.Parallelism, len(sizes)*len(protos)*seeds,
+		func(i int) clocksync.Result {
+			n := sizes[i/(len(protos)*seeds)]
+			p := protos[i/seeds%len(protos)]
+			return p.run(clocksync.Config{
+				N: n, Seed: cfg.Seed + uint64(i%seeds),
+				MaxOffset: 100 * sim.Millisecond,
+				DriftPPM:  50,
+				JitterStd: 20 * sim.Microsecond,
+				MinDelay:  sim.Millisecond, MaxDelay: 3 * sim.Millisecond,
+				Rounds: 8,
+			})
+		})
+	i := 0
 	for _, n := range sizes {
 		for _, p := range protos {
 			var eps, mean, after stats.Online
 			var msgs, bytes int64
 			for s := 0; s < seeds; s++ {
-				res := p.run(clocksync.Config{
-					N: n, Seed: cfg.Seed + uint64(s),
-					MaxOffset: 100 * sim.Millisecond,
-					DriftPPM:  50,
-					JitterStd: 20 * sim.Microsecond,
-					MinDelay:  sim.Millisecond, MaxDelay: 3 * sim.Millisecond,
-					Rounds: 8,
-				})
+				res := results[i]
+				i++
 				eps.Add(float64(res.Eps))
 				mean.Add(res.MeanAbsErr)
 				after.Add(float64(res.EpsAfter))

@@ -91,6 +91,15 @@ func (t *Table) String() string {
 type RunConfig struct {
 	Seed  uint64
 	Quick bool
+	// Parallelism fans the independent (seed, sweep-point) replications
+	// of each experiment across a bounded worker pool: values above 1 are
+	// worker counts, 0 and 1 run replications inline. Results are
+	// collected by replication index and aggregated in that order, so the
+	// rendered table is byte-identical at every setting — parallelism is
+	// purely a wall-clock knob. Randomness shared across replications
+	// (E2's clock fleets, A4's workload draws) is pre-drawn sequentially
+	// before the fan-out, preserving exact sequential output.
+	Parallelism int
 }
 
 // pick returns quick when cfg.Quick, else full.

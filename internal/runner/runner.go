@@ -1,0 +1,95 @@
+// Package runner fans independent experiment replications out across a
+// bounded worker pool without giving up determinism: jobs are indexed,
+// results are collected by index, and the caller aggregates them in index
+// order — so every table rendered from a parallel run is byte-identical
+// to the sequential run.
+//
+// The contract is isolation, not synchronization: each job must own its
+// engine, RNG stream and world (the DES kernel is single-threaded by
+// design). Shared random material must be drawn *before* the fan-out, in
+// job order, and passed in — see the experiment loops for the pattern.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pervasive/internal/obs"
+	"pervasive/internal/sim"
+)
+
+// Workers normalizes a parallelism setting to a worker count: values
+// above 1 are taken literally; 0, 1 and negatives mean "sequential".
+// Callers that want an "all cores" convention (cmd/experiments -p 0)
+// resolve it to GOMAXPROCS themselves before handing the value down.
+func Workers(parallelism int) int {
+	if parallelism < 1 {
+		return 1
+	}
+	return parallelism
+}
+
+// AllCores is the worker count for "use the whole machine".
+func AllCores() int { return runtime.GOMAXPROCS(0) }
+
+// obsReg is the optional metrics registry shared by all Map calls; the
+// runner is process-wide infrastructure, so its instrumentation is too.
+var obsReg atomic.Pointer[obs.Registry]
+
+// SetObs installs the registry Map reports into: counters runner.jobs and
+// runner.maps, the runner.workers gauge (with high-watermark), and one
+// span.runner.map histogram entry per fan-out, in wall-clock µs.
+// SetObs(nil) detaches.
+func SetObs(r *obs.Registry) { obsReg.Store(r) }
+
+// epoch anchors the runner's wall-clock span timestamps.
+var epoch = time.Now()
+
+func wallNow() sim.Time { return sim.Time(time.Since(epoch).Microseconds()) }
+
+// Map runs fn(0..n-1) across at most Workers(parallelism) goroutines and
+// returns the results indexed by job. With parallelism ≤ 1 (or n ≤ 1) it
+// degenerates to an inline sequential loop with zero goroutine overhead —
+// the same code path the determinism guarantee is anchored to.
+func Map[T any](parallelism, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	workers := Workers(parallelism)
+	if workers > n {
+		workers = n
+	}
+	reg := obsReg.Load()
+	sp := reg.StartSpanAt("runner.map", wallNow())
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+	} else {
+		reg.Gauge("runner.workers").Set(int64(workers))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					out[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+		reg.Gauge("runner.workers").Set(0)
+	}
+	reg.Counter("runner.jobs").Add(int64(n))
+	reg.Counter("runner.maps").Inc()
+	sp.EndAt(wallNow())
+	return out
+}

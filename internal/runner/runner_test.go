@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"pervasive/internal/obs"
+)
+
+func TestMapCollectsByIndex(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 100} {
+		got := Map(par, 17, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if got := Map(8, 0, func(int) int { t.Fatal("fn called"); return 0 }); len(got) != 0 {
+		t.Fatalf("len %d", len(got))
+	}
+	got := Map(8, 1, func(i int) int { return 41 + i })
+	if len(got) != 1 || got[0] != 41 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	Map(3, 64, func(i int) struct{} {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return struct{}{}
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent jobs, bound is 3", p)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := AllCores(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("AllCores() = %d, want GOMAXPROCS", w)
+	}
+	for in, want := range map[int]int{-3: 1, 0: 1, 1: 1, 2: 2, 16: 16} {
+		if w := Workers(in); w != want {
+			t.Fatalf("Workers(%d) = %d, want %d", in, w, want)
+		}
+	}
+}
+
+// Determinism across parallelism levels: same fn, same indexed results,
+// regardless of scheduling (results placement is by index, not by
+// completion order).
+func TestMapDeterministicAcrossParallelism(t *testing.T) {
+	mk := func(par int) []uint64 {
+		return Map(par, 200, func(i int) uint64 {
+			v := uint64(i) * 0x9e3779b97f4a7c15
+			return v ^ v>>29
+		})
+	}
+	seq := mk(1)
+	for _, par := range []int{2, 7, 32} {
+		got := mk(par)
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("par=%d diverges at %d", par, i)
+			}
+		}
+	}
+}
+
+func TestMapObsInstruments(t *testing.T) {
+	r := obs.NewRegistry()
+	SetObs(r)
+	defer SetObs(nil)
+	Map(4, 10, func(i int) int { return i })
+	if got := r.Counter("runner.jobs").Value(); got != 10 {
+		t.Fatalf("runner.jobs = %d, want 10", got)
+	}
+	if got := r.Counter("runner.maps").Value(); got != 1 {
+		t.Fatalf("runner.maps = %d, want 1", got)
+	}
+	if max := r.Gauge("runner.workers").Max(); max != 4 {
+		t.Fatalf("runner.workers watermark = %d, want 4", max)
+	}
+	snap := r.Snapshot()
+	found := false
+	for _, h := range snap.Histograms {
+		if h.Name == "span.runner.map" && h.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("span.runner.map histogram missing from snapshot")
+	}
+}

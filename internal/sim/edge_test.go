@@ -21,7 +21,7 @@ func TestAfterNegativePanics(t *testing.T) {
 func TestCancelInsideHandler(t *testing.T) {
 	e := NewEngine(1)
 	fired := false
-	var tm *Timer
+	var tm Timer
 	e.At(1, func(Time) { tm.Stop() })
 	tm = e.At(2, func(Time) { fired = true })
 	e.RunAll()
@@ -32,7 +32,7 @@ func TestCancelInsideHandler(t *testing.T) {
 
 func TestSelfCancelDuringOwnExecutionIsNoop(t *testing.T) {
 	e := NewEngine(1)
-	var tm *Timer
+	var tm Timer
 	ran := false
 	tm = e.At(1, func(Time) {
 		ran = true
@@ -71,7 +71,7 @@ func TestCancellationProperty(t *testing.T) {
 			cancel bool
 		}
 		var expected []Time
-		timers := make([]*Timer, 0, len(delays))
+		timers := make([]Timer, 0, len(delays))
 		plans := make([]rec, 0, len(delays))
 		for i, d := range delays {
 			at := Time(d) + 1

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"pervasive/internal/stats"
@@ -10,72 +9,66 @@ import (
 // Handler is a callback executed at its scheduled virtual time.
 type Handler func(now Time)
 
-// scheduled is one pending event in the engine's event list.
+// scheduled is one pending event in the engine's slot pool. Slots are
+// recycled through a free list; gen disambiguates a Timer held across a
+// slot's reuse (a stale Timer sees a newer gen and becomes inert).
 type scheduled struct {
-	at    Time
-	seq   uint64 // FIFO tie-break for equal timestamps
-	fn    Handler
-	index int // heap index, -1 once popped or cancelled
+	at   Time
+	seq  uint64 // FIFO tie-break for equal timestamps
+	fn   Handler
+	gen  uint32
+	next int32 // free-list link while the slot is free
 }
 
-// eventHeap orders events by (time, seq).
-type eventHeap []*scheduled
+// nilSlot terminates the free list.
+const nilSlot int32 = -1
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*scheduled)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled event, usable to cancel it.
+// Timer is a handle to a scheduled event, usable to cancel it. Timers are
+// values: scheduling performs no allocation for the handle, and the zero
+// Timer is inert.
 type Timer struct {
-	ev  *scheduled
-	eng *Engine
+	eng  *Engine
+	slot int32
+	gen  uint32
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the
 // cancellation prevented the event from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+func (t Timer) Stop() bool {
+	e := t.eng
+	if e == nil {
 		return false
 	}
-	fired := t.ev.index == -1
-	t.ev.fn = nil // fired or not, neuter the callback
-	if !fired && t.eng != nil {
-		t.eng.Cancelled++
+	s := &e.pool[t.slot]
+	if s.gen != t.gen || s.fn == nil {
+		return false // fired, already stopped, or slot recycled
 	}
-	return !fired
+	s.fn = nil // stays in the heap as a tombstone until popped or swept
+	e.Cancelled++
+	e.live--
+	e.maybeSweep()
+	return true
 }
 
 // Engine is a deterministic discrete-event simulator. The zero value is not
 // usable; construct with NewEngine.
+//
+// The event list is a hand-rolled 4-ary index heap: the heap slice holds
+// int32 indices into a slot pool of scheduled entries, recycled through a
+// free list. Compared to container/heap this removes the per-event
+// *scheduled allocation, the heap.Interface boxing on every push/pop, and
+// the Timer-handle allocation (Timers are values). Cancellation is lazy —
+// a stopped event becomes a tombstone skipped by peek — with an amortized
+// sweep that compacts the heap when tombstones outnumber live events.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	rng     *stats.RNG
-	stopped bool
+	now      Time
+	seq      uint64
+	heap     []int32
+	pool     []scheduled
+	freeHead int32
+	live     int // heap entries whose fn is still set
+	rng      *stats.RNG
+	stopped  bool
 	// Executed counts handlers actually run, for kernel benchmarks.
 	Executed uint64
 	// Scheduled counts events accepted by At/After; Cancelled counts
@@ -91,7 +84,7 @@ type Engine struct {
 
 // NewEngine creates an engine whose randomness derives from seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: stats.NewRNG(seed)}
+	return &Engine{rng: stats.NewRNG(seed), freeHead: nilSlot}
 }
 
 // Now returns the current virtual time.
@@ -101,30 +94,157 @@ func (e *Engine) Now() Time { return e.now }
 // isolated streams should call RNG().Fork() once at setup.
 func (e *Engine) RNG() *stats.RNG { return e.rng }
 
-// Pending returns the number of events still scheduled.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of events still scheduled to fire (cancelled
+// events awaiting their lazy removal are not counted).
+func (e *Engine) Pending() int { return e.live }
+
+// alloc takes a slot from the free list, or grows the pool.
+func (e *Engine) alloc() int32 {
+	if s := e.freeHead; s != nilSlot {
+		e.freeHead = e.pool[s].next
+		return s
+	}
+	e.pool = append(e.pool, scheduled{})
+	return int32(len(e.pool) - 1)
+}
+
+// release bumps the slot's generation (invalidating outstanding Timers)
+// and returns it to the free list.
+func (e *Engine) release(s int32) {
+	p := &e.pool[s]
+	p.fn = nil
+	p.gen++
+	p.next = e.freeHead
+	e.freeHead = s
+}
+
+// less orders heap entries by (time, seq).
+func (e *Engine) less(a, b int32) bool {
+	pa, pb := &e.pool[a], &e.pool[b]
+	return pa.at < pb.at || (pa.at == pb.at && pa.seq < pb.seq)
+}
+
+// siftUp restores the 4-ary heap property from leaf i toward the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	s := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.less(s, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = s
+}
+
+// siftDown restores the 4-ary heap property from i toward the leaves.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	s := h[i]
+	for {
+		first := i<<2 + 1 // leftmost child
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !e.less(h[min], s) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = s
+}
+
+// push inserts slot s into the heap.
+func (e *Engine) push(s int32) {
+	e.heap = append(e.heap, s)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// pop removes and returns the minimum slot. The heap must be non-empty.
+func (e *Engine) pop() int32 {
+	h := e.heap
+	s := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return s
+}
+
+// peek discards cancelled tombstones off the top and returns the slot of
+// the earliest live event, or nilSlot when the list is drained.
+func (e *Engine) peek() int32 {
+	for len(e.heap) > 0 {
+		s := e.heap[0]
+		if e.pool[s].fn != nil {
+			return s
+		}
+		e.release(e.pop())
+	}
+	return nilSlot
+}
+
+// maybeSweep compacts the heap once tombstones outnumber live events:
+// cancelled slots are released and the survivors re-heapified in O(n).
+// The 2× threshold makes the sweep amortized O(1) per cancellation.
+func (e *Engine) maybeSweep() {
+	if len(e.heap) < 64 || 2*e.live >= len(e.heap) {
+		return
+	}
+	kept := e.heap[:0]
+	for _, s := range e.heap {
+		if e.pool[s].fn != nil {
+			kept = append(kept, s)
+		} else {
+			e.release(s)
+		}
+	}
+	e.heap = kept
+	for i := (len(kept) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
 
 // At schedules fn to run at absolute virtual time at. Scheduling into the
 // past panics: that always indicates a model bug.
-func (e *Engine) At(at Time, fn Handler) *Timer {
+func (e *Engine) At(at Time, fn Handler) Timer {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, e.now))
 	}
-	ev := &scheduled{at: at, seq: e.seq, fn: fn}
+	s := e.alloc()
+	p := &e.pool[s]
+	p.at, p.seq, p.fn = at, e.seq, fn
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.push(s)
+	e.live++
 	e.Scheduled++
-	if len(e.events) > e.MaxHeapDepth {
-		e.MaxHeapDepth = len(e.events)
+	if e.live > e.MaxHeapDepth {
+		e.MaxHeapDepth = e.live
 	}
-	return &Timer{ev: ev, eng: e}
+	return Timer{eng: e, slot: s, gen: p.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
-func (e *Engine) After(d Duration, fn Handler) *Timer {
+func (e *Engine) After(d Duration, fn Handler) Timer {
 	return e.At(e.now+d, fn)
 }
 
@@ -134,19 +254,19 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single earliest pending event, advancing virtual time.
 // It reports whether an event was available.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*scheduled)
-		if ev.fn == nil { // cancelled
-			continue
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.Executed++
-		fn(e.now)
-		return true
+	s := e.peek()
+	if s == nilSlot {
+		return false
 	}
-	return false
+	e.pop()
+	p := &e.pool[s]
+	e.now = p.at
+	fn := p.fn
+	e.release(s) // before fn: a self-Stop inside the handler is a no-op
+	e.live--
+	e.Executed++
+	fn(e.now)
+	return true
 }
 
 // Run executes events in timestamp order until the event list drains, Stop
@@ -155,20 +275,11 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	for !e.stopped {
-		// Peek for the horizon without popping cancelled clutter eagerly.
-		idx := -1
-		for len(e.events) > 0 {
-			if e.events[0].fn == nil {
-				heap.Pop(&e.events)
-				continue
-			}
-			idx = 0
+		s := e.peek()
+		if s == nilSlot {
 			break
 		}
-		if idx == -1 {
-			break
-		}
-		if e.events[0].at > until {
+		if e.pool[s].at > until {
 			e.now = until
 			break
 		}
