@@ -3,11 +3,12 @@
 
 GO ?= go
 
-.PHONY: check build vet test race-live bench-obs bench-kernel bench
+.PHONY: check build vet test race-live bench-obs bench-kernel bench-lattice bench
 
 check: build vet
 	$(GO) test -race ./...
 	$(GO) test -race -run TestTablesByteIdenticalAcrossParallelism ./internal/experiments/ ./internal/runner/
+	$(GO) test -race -run 'TestSurveyMatchesOracle|TestSurveyParallelDeterministic' ./internal/lattice/
 
 build:
 	$(GO) build ./...
@@ -33,5 +34,11 @@ bench-obs:
 bench-kernel:
 	$(GO) run ./cmd/benchkernel -o BENCH_kernel.json
 
-bench:
+# Lattice engine numbers (single-pass Survey vs the recursive-enumerator
+# oracle, 4x4 and 6x6 workloads, suite wall clock); rewrites the recorded
+# BENCH_lattice.json.
+bench-lattice:
+	$(GO) run ./cmd/benchlattice -o BENCH_lattice.json
+
+bench: bench-lattice
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

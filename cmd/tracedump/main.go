@@ -159,10 +159,12 @@ func trimTo(ex *lattice.Execution, budget int) *lattice.Execution {
 }
 
 func report(w io.Writer, ex *lattice.Execution) {
-	cuts := ex.CountConsistent(0)
+	// One Survey walk yields both count and width.
+	res := ex.Survey(lattice.SurveyOptions{})
 	fmt.Fprintf(w, "%d consistent cuts of %d possible, width %d\n",
-		cuts, ex.NumCuts(), ex.Width())
-	if ex.PathConsistent() {
+		res.Count, ex.NumCuts(), res.Width)
+	path := ex.Path()
+	if ex.PathConsistentAlong(path) {
 		fmt.Fprintln(w, "actual execution path: consistent under recorded stamps ✓")
 	} else {
 		fmt.Fprintln(w, "WARNING: actual path inconsistent — stamps corrupted?")

@@ -51,10 +51,21 @@ func (d *DiffStrobeVector) Snapshot() Vector { return d.inner.Snapshot() }
 
 // Strobe applies SVC1 and returns the sparse diff to broadcast: every
 // component that changed since this process's previous broadcast (always
-// at least the local component).
+// at least the local component). The stamp is the only allocation: the
+// inner clock is ticked in place (StrobeVector.Strobe would clone a
+// snapshot just to diff against it) and the changed components are
+// counted first so the stamp is made at its exact size — this sits in
+// the E7/A4 per-event hot loop.
 func (d *DiffStrobeVector) Strobe() SparseStamp {
-	cur := d.inner.Strobe()
-	var out SparseStamp
+	d.inner.v[d.inner.me]++ // SVC1, without Strobe()'s snapshot clone
+	cur := d.inner.v
+	changed := 0
+	for i, v := range cur {
+		if v != d.lastSent[i] {
+			changed++
+		}
+	}
+	out := make(SparseStamp, 0, changed)
 	for i, v := range cur {
 		if v != d.lastSent[i] {
 			out = append(out, SparseEntry{Proc: i, Val: v})

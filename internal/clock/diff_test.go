@@ -122,6 +122,36 @@ func TestDiffCompressionSavesBytes(t *testing.T) {
 		diffBytes, fullBytes, 100*float64(diffBytes)/float64(fullBytes))
 }
 
+// TestDiffStrobeSingleAllocation pins the hot-loop contract: a strobe
+// allocates exactly its sparse stamp — no snapshot clone, no append
+// growth — regardless of how many components changed.
+func TestDiffStrobeSingleAllocation(t *testing.T) {
+	const n = 32
+	d := NewDiffStrobeVector(0, n)
+	peer := NewDiffStrobeVector(1, n)
+	if allocs := testing.AllocsPerRun(100, func() { d.Strobe() }); allocs != 1 {
+		t.Fatalf("quiet strobe: %.1f allocs, want 1", allocs)
+	}
+	// Worst case: every component changed since the last broadcast.
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < n; i++ {
+			peer.inner.v[i] += 2
+		}
+		d.OnStrobe(peer.Strobe())
+		d.Strobe()
+	}); allocs != 2 { // one stamp each for peer.Strobe and d.Strobe
+		t.Fatalf("busy strobes: %.1f allocs, want 2", allocs)
+	}
+}
+
+func BenchmarkDiffStrobe(b *testing.B) {
+	d := NewDiffStrobeVector(0, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Strobe()
+	}
+}
+
 func TestDiffStrobeMonotoneUnderLoss(t *testing.T) {
 	// Drop 50% of strobes: receivers lag, but clocks stay monotonic and
 	// never overtake the true event counts.

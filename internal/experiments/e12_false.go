@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"pervasive/internal/core"
+	"pervasive/internal/lattice"
 	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 )
@@ -73,7 +74,7 @@ func E12FalseCausality(cfg RunConfig) *Table {
 				}
 			}
 		}
-		o.strobeLattice = ex.CountConsistent(0)
+		o.strobeLattice = ex.Survey(lattice.SurveyOptions{}).Count
 		for i := 0; i < n; i++ {
 			o.trueLattice *= int64(len(ex.Stamps[i]) + 1)
 		}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"pervasive/internal/core"
+	"pervasive/internal/lattice"
 	"pervasive/internal/runner"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
@@ -12,16 +15,22 @@ import (
 // the faster the strobes propagate, the leaner the lattice; with Δ=0 the
 // consistent cuts form a linear order of n·p + 1 states; with no strobes
 // delivered at all, every cut is consistent.
+//
+// The sweep runs two size blocks. The first (n=4, p=4, up to 625 cuts) is
+// the historical table; the second (n=6, p=6, up to 7⁶ = 117 649 cuts)
+// exercises the O(pⁿ) regime the paper actually argues about and is only
+// tractable because the Survey engine walks each lattice once, level by
+// level, instead of recursively enumerating it per statistic.
 func E3SlimLattice(cfg RunConfig) *Table {
 	t := &Table{
 		ID:    "E3",
-		Title: "consistent-cut count vs strobe delay (n=4 sensors, p=4 events each)",
+		Title: "consistent-cut count vs strobe delay (blocks: n=4 p=4, n=6 p=6)",
 		Claim: "\"the faster the strobe transmissions, the leaner is the lattice. " +
 			"When Δ = 0, the result is a linear order of np states\" (§4.2.4)",
 		Header: []string{"regime", "Δ", "consistent cuts", "of possible", "width"},
 	}
 
-	const n, p = 4, 4
+	blocks := []struct{ n, p int }{{4, 4}, {6, 6}}
 	regimes := []struct {
 		name  string
 		delay sim.DelayModel
@@ -35,20 +44,22 @@ func E3SlimLattice(cfg RunConfig) *Table {
 	}
 	seeds := cfg.pick(5, 2)
 
-	// One job per (regime, seed); the ordered walk below reproduces the
-	// sequential aggregation (Online means in seed order, `possible` from
-	// the last seed whose execution survived trimming).
+	// One job per (block, regime, seed); the ordered walk below reproduces
+	// the sequential aggregation (Online means in seed order, `possible`
+	// from the last seed whose execution survived trimming).
 	type outcome struct {
 		ok          bool
 		cuts, width float64
 		possible    int64
 	}
-	outcomes := runner.Map(cfg.Parallelism, len(regimes)*seeds, func(i int) outcome {
-		reg := regimes[i/seeds]
+	perBlock := len(regimes) * seeds
+	outcomes := runner.Map(cfg.Parallelism, len(blocks)*perBlock, func(i int) outcome {
+		blk := blocks[i/perBlock]
+		reg := regimes[i/seeds%len(regimes)]
 		s := i % seeds
 		// Run long enough to collect ≥ p events per sensor, then trim.
 		pw := pulseWorkload{
-			N: n, K: n, // predicate irrelevant here
+			N: blk.n, K: blk.n, // predicate irrelevant here
 			MeanHigh: 400 * sim.Millisecond, MeanLow: 600 * sim.Millisecond,
 			Kind: core.VectorStrobe, Delay: reg.delay,
 			Horizon:   30 * sim.Second,
@@ -57,33 +68,41 @@ func E3SlimLattice(cfg RunConfig) *Table {
 		h := pw.build(cfg.Seed + uint64(s))
 		h.Run()
 		ex := h.LatticeExecution()
-		if !trimExecution(ex.Stamps, ex.Times, p) {
+		if !trimExecution(ex.Stamps, ex.Times, blk.p) {
 			return outcome{}
 		}
+		// Count and width from a single level-synchronous walk.
+		res := ex.Survey(lattice.SurveyOptions{})
 		return outcome{
 			ok:       true,
-			cuts:     float64(ex.CountConsistent(0)),
-			width:    float64(ex.Width()),
+			cuts:     float64(res.Count),
+			width:    float64(res.Width),
 			possible: ex.NumCuts(),
 		}
 	})
-	for ri, reg := range regimes {
-		var cuts, width stats.Online
-		var possible int64
-		for s := 0; s < seeds; s++ {
-			o := outcomes[ri*seeds+s]
-			if !o.ok {
-				continue
-			}
-			cuts.Add(o.cuts)
-			width.Add(o.width)
-			possible = o.possible
+	for bi, blk := range blocks {
+		if bi > 0 {
+			t.AddRow(fmt.Sprintf("— n=%d, p=%d —", blk.n, blk.p), "", "", "", "")
 		}
-		t.AddRow(reg.name, fmtDelta(reg.delay),
-			cuts.Mean(), possible, width.Mean())
+		for ri, reg := range regimes {
+			var cuts, width stats.Online
+			var possible int64
+			for s := 0; s < seeds; s++ {
+				o := outcomes[bi*perBlock+ri*seeds+s]
+				if !o.ok {
+					continue
+				}
+				cuts.Add(o.cuts)
+				width.Add(o.width)
+				possible = o.possible
+			}
+			t.AddRow(reg.name, fmtDelta(reg.delay),
+				cuts.Mean(), possible, width.Mean())
+		}
 	}
 	t.Notes = append(t.Notes,
 		"Δ=0 row must equal n·p+1 = 17 with width 1 (a chain); the no-strobe row equals (p+1)^n = 625",
-		"counts are means over seeds; events beyond the first p per sensor are trimmed")
+		"counts are means over seeds; events beyond the first p per sensor are trimmed",
+		"n=6 block: Δ=0 must equal n·p+1 = 37; the no-strobe row equals (p+1)^n = 117649")
 	return t
 }

@@ -96,25 +96,34 @@ func TestE2Shape(t *testing.T) {
 
 func TestE3Shape(t *testing.T) {
 	tbl := E3SlimLattice(quick())
-	first := cell(t, tbl, 0, 2) // Δ=0
-	last := cell(t, tbl, len(tbl.Rows)-1, 2)
-	if first != 17 {
-		t.Fatalf("Δ=0 lattice size %.1f want 17 (n·p+1)", first)
+	// Two blocks of 6 regime rows, separated by one marker row.
+	if len(tbl.Rows) != 13 {
+		t.Fatalf("rows %d want 13 (6 + marker + 6)", len(tbl.Rows))
 	}
-	if last != 625 {
-		t.Fatalf("no-strobe lattice size %.1f want 625 ((p+1)^n)", last)
-	}
-	prev := first
-	for i := 1; i < len(tbl.Rows); i++ {
-		cur := cell(t, tbl, i, 2)
-		if cur < prev-1e-9 {
-			t.Fatalf("lattice size not monotone in Δ: row %d %.1f < %.1f", i, cur, prev)
+	block := func(base int, chain, full float64) {
+		t.Helper()
+		first := cell(t, tbl, base, 2) // Δ=0
+		last := cell(t, tbl, base+5, 2)
+		if first != chain {
+			t.Fatalf("row %d: Δ=0 lattice size %.1f want %.0f (n·p+1)", base, first, chain)
 		}
-		prev = cur
+		if last != full {
+			t.Fatalf("row %d: no-strobe lattice size %.1f want %.0f ((p+1)^n)", base+5, last, full)
+		}
+		prev := first
+		for i := base + 1; i <= base+5; i++ {
+			cur := cell(t, tbl, i, 2)
+			if cur < prev-1e-9 {
+				t.Fatalf("lattice size not monotone in Δ: row %d %.1f < %.1f", i, cur, prev)
+			}
+			prev = cur
+		}
+		if w := cell(t, tbl, base, 4); w != 1 {
+			t.Fatalf("row %d: Δ=0 width %.1f want 1", base, w)
+		}
 	}
-	if w := cell(t, tbl, 0, 4); w != 1 {
-		t.Fatalf("Δ=0 width %.1f want 1", w)
-	}
+	block(0, 17, 625)    // n=4, p=4
+	block(7, 37, 117649) // n=6, p=6 (rows 0-5, marker at 6, block at 7-12)
 }
 
 func TestE4Shape(t *testing.T) {

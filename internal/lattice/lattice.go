@@ -15,6 +15,8 @@ package lattice
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"pervasive/internal/clock"
 	"pervasive/internal/sim"
@@ -27,6 +29,12 @@ import (
 type Execution struct {
 	Stamps [][]clock.Vector
 	Times  [][]sim.Time
+
+	// surveyPrep caches the survey engine's preprocessing of Stamps
+	// (sparse constraint rows, cut-key packing geometry); it is built
+	// lazily on the first lattice statistic and assumes Stamps are not
+	// mutated afterwards. See survey.go.
+	surveyPrep atomic.Pointer[surveyPrep]
 }
 
 // N returns the number of processes.
@@ -44,12 +52,12 @@ func (e *Execution) Events() int {
 // NumCuts returns the total number of cuts, consistent or not:
 // ∏ (p_i + 1). It saturates at math.MaxInt64 / 2 to avoid overflow.
 func (e *Execution) NumCuts() int64 {
-	const cap = int64(1) << 62
+	const sat = int64(1) << 62
 	total := int64(1)
 	for _, s := range e.Stamps {
 		total *= int64(len(s) + 1)
-		if total < 0 || total > cap {
-			return cap
+		if total < 0 || total > sat {
+			return sat
 		}
 	}
 	return total
@@ -88,6 +96,13 @@ func (e *Execution) ConsistentCut(cut []int) bool {
 // means no limit). It returns the number of consistent cuts visited.
 // Enumeration prunes: a partial assignment that is already pairwise
 // inconsistent is never extended.
+//
+// Enumerate is the legacy recursive enumerator, retained as the
+// differential-testing oracle for the level-synchronous Survey engine
+// (see survey.go and TestSurveyMatchesOracle). Every statistic consumer
+// should use Survey, which walks the lattice once with an incremental
+// O(n) consistency check instead of once per statistic with an O(n²)
+// pairwise check.
 func (e *Execution) Enumerate(limit int64, fn func(cut []int) bool) int64 {
 	n := e.N()
 	cut := make([]int, n)
@@ -145,37 +160,24 @@ func (e *Execution) partialConsistent(cut []int, upto int) bool {
 }
 
 // CountConsistent returns the number of consistent cuts, up to limit
-// (limit <= 0 counts all).
+// (limit <= 0 counts all), via a single Survey traversal. Callers that
+// need more than one statistic should call Survey directly so the
+// lattice is walked only once.
 func (e *Execution) CountConsistent(limit int64) int64 {
-	return e.Enumerate(limit, nil)
+	return e.Survey(SurveyOptions{Limit: limit}).Count
 }
 
 // LevelSizes returns, for each level ℓ (total number of included events),
 // how many consistent cuts have exactly ℓ events. The maximum entry is the
 // lattice's width; a totally ordered (slim) execution has all entries 1.
 func (e *Execution) LevelSizes() []int64 {
-	sizes := make([]int64, e.Events()+1)
-	e.Enumerate(0, func(cut []int) bool {
-		level := 0
-		for _, c := range cut {
-			level += c
-		}
-		sizes[level]++
-		return true
-	})
-	return sizes
+	return e.Survey(SurveyOptions{}).LevelSizes
 }
 
 // Width returns the size of the largest level — 1 means the consistent
 // cuts form a single chain (the linear order of Δ=0 strobing).
 func (e *Execution) Width() int64 {
-	var w int64
-	for _, s := range e.LevelSizes() {
-		if s > w {
-			w = s
-		}
-	}
-	return w
+	return e.Survey(SurveyOptions{}).Width
 }
 
 // Path returns the sequence of cuts the execution actually traversed in
@@ -196,13 +198,8 @@ func (e *Execution) Path() [][]int {
 			evs = append(evs, ev{at: at, proc: i})
 		}
 	}
-	// insertion sort by time keeps the implementation dependency-free and
-	// deterministic for equal times (stable by construction order)
-	for i := 1; i < len(evs); i++ {
-		for j := i; j > 0 && evs[j].at < evs[j-1].at; j-- {
-			evs[j], evs[j-1] = evs[j-1], evs[j]
-		}
-	}
+	// stable sort keeps equal times deterministic (construction order)
+	sort.SliceStable(evs, func(a, b int) bool { return evs[a].at < evs[b].at })
 	cut := make([]int, e.N())
 	path := [][]int{append([]int(nil), cut...)}
 	for k := 0; k < len(evs); {
@@ -222,7 +219,13 @@ func (e *Execution) Path() [][]int {
 // happened — and serves as a sanity check that stamps were collected
 // correctly.
 func (e *Execution) PathConsistent() bool {
-	for _, cut := range e.Path() {
+	return e.PathConsistentAlong(e.Path())
+}
+
+// PathConsistentAlong is PathConsistent over an already computed path;
+// callers that hold the Path() result avoid re-sorting the event times.
+func (e *Execution) PathConsistentAlong(path [][]int) bool {
+	for _, cut := range path {
 		if !e.ConsistentCut(cut) {
 			return false
 		}

@@ -268,9 +268,26 @@ func TestPathWithoutTimesPanics(t *testing.T) {
 }
 
 func TestNumCutsSaturates(t *testing.T) {
-	e := independent(40, 40) // 41^40 overflows int64
-	if e.NumCuts() != int64(1)<<62 {
-		t.Fatalf("saturation failed: %d", e.NumCuts())
+	const sat = int64(1) << 62
+	cases := []struct {
+		name string
+		n, p int
+		want int64
+	}{
+		// 41^40 overflows int64 by a huge margin.
+		{"far overflow", 40, 40, sat},
+		// 2^63 wraps negative in one multiplication step.
+		{"wrap negative", 63, 1, sat},
+		// Exactly 2^62 cuts: the saturation boundary itself.
+		{"exact boundary", 62, 1, sat},
+		// 2^61 is the largest power of two below the cap: no saturation.
+		{"just below", 61, 1, int64(1) << 61},
+	}
+	for _, c := range cases {
+		if got := independent(c.n, c.p).NumCuts(); got != c.want {
+			t.Errorf("%s: NumCuts(independent(%d,%d)) = %d, want %d",
+				c.name, c.n, c.p, got, c.want)
+		}
 	}
 }
 
