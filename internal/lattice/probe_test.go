@@ -1,0 +1,60 @@
+package lattice
+
+import (
+	"fmt"
+	"testing"
+
+	"pervasive/internal/clock"
+	"pervasive/internal/sim"
+)
+
+// ragged builds an independent execution with counts[i] events on proc i.
+func ragged(counts []int) *Execution {
+	n := len(counts)
+	e := &Execution{Stamps: make([][]clock.Vector, n), Times: make([][]sim.Time, n)}
+	for i := 0; i < n; i++ {
+		for k := 1; k <= counts[i]; k++ {
+			v := clock.NewVector(n)
+			v[i] = uint64(k)
+			e.Stamps[i] = append(e.Stamps[i], v)
+			e.Times[i] = append(e.Times[i], sim.Time(k*n+i))
+		}
+	}
+	return e
+}
+
+func TestProbeCachedPrepVsForceStrings(t *testing.T) {
+	e := independent(3, 2)
+	_ = e.Survey(SurveyOptions{}) // caches packed prep
+	forceStringKeys = true
+	defer func() { forceStringKeys = false }()
+	p := e.prep()
+	fmt.Printf("PROBE1: after forceStringKeys=true, cached prep packed=%v (strings modes run packed engine: %v)\n", p.packed, p.packed)
+}
+
+func TestProbeChunkCompStaleN(t *testing.T) {
+	// n=16, maxP=15: vb=4, 16*4=64 packed; gb=5, 16*6=96>64 -> non-SWAR.
+	c1 := make([]int, 16)
+	for i := range c1 {
+		c1[i] = 1
+	}
+	c1[0] = 15
+	e1 := ragged(c1)
+	p1 := e1.prep()
+	fmt.Printf("PROBE2: e1 n=16 packed=%v swar=%v\n", p1.packed, p1.swar)
+
+	// n=21, maxP=7: vb=3, 63<=64 packed; gb=4, 21*5=105>64 -> non-SWAR.
+	c2 := make([]int, 21)
+	for i := range c2 {
+		c2[i] = 1
+	}
+	c2[0] = 7
+	e2 := ragged(c2)
+	p2 := e2.prep()
+	fmt.Printf("PROBE2: e2 n=21 packed=%v swar=%v\n", p2.packed, p2.swar)
+
+	sv1 := e1.Survey(SurveyOptions{Parallelism: 4}) // allocates chunkComp len 16
+	fmt.Printf("PROBE2: e1 count=%d\n", sv1.Count)
+	sv2 := e2.Survey(SurveyOptions{Parallelism: 4}) // reuses scratch, n=21
+	fmt.Printf("PROBE2: e2 count=%d\n", sv2.Count)
+}
