@@ -3,12 +3,14 @@
 
 GO ?= go
 
-.PHONY: check build vet test race-live bench-obs bench-kernel bench-lattice bench
+.PHONY: check build vet test race-live bench-obs bench-kernel bench-lattice bench-faults bench
 
 check: build vet
 	$(GO) test -race ./...
 	$(GO) test -race -run TestTablesByteIdenticalAcrossParallelism ./internal/experiments/ ./internal/runner/
 	$(GO) test -race -run 'TestSurveyMatchesOracle|TestSurveyParallelDeterministic' ./internal/lattice/
+	$(GO) test -race -run 'TestLiveOverload|TestLiveCrashRecovery|TestLiveRecoveryDrainsMailbox' ./internal/live/
+	$(GO) test -race ./internal/faults/ ./internal/network/ -run 'Fault|Crash|Partition|Duplicate|Reorder|FloodDedup'
 
 build:
 	$(GO) build ./...
@@ -39,6 +41,12 @@ bench-kernel:
 # BENCH_lattice.json.
 bench-lattice:
 	$(GO) run ./cmd/benchlattice -o BENCH_lattice.json
+
+# Fault-injection overhead (nil-injector fast path vs an active plan);
+# rewrites the recorded BENCH_faults.json. The bar: a run with no plan
+# costs nothing measurable.
+bench-faults:
+	$(GO) run ./cmd/benchfaults -o BENCH_faults.json
 
 bench: bench-lattice
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

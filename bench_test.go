@@ -1,6 +1,6 @@
 package pervasive
 
-// One benchmark per reproduction experiment (E1–E12; see DESIGN.md §2 and
+// One benchmark per reproduction experiment (E1–E13; see DESIGN.md §2 and
 // EXPERIMENTS.md). Each benchmark runs its experiment in Quick mode with a
 // varying seed so iterations differ; `go test -bench=.` therefore
 // regenerates a fast version of every table, and `cmd/experiments` the
@@ -41,6 +41,7 @@ func BenchmarkE9ClockSyncCost(b *testing.B)            { benchExperiment(b, "E9"
 func BenchmarkE10EveryOccurrence(b *testing.B)         { benchExperiment(b, "E10") }
 func BenchmarkE11HiddenChannels(b *testing.B)          { benchExperiment(b, "E11") }
 func BenchmarkE12FalseCausality(b *testing.B)          { benchExperiment(b, "E12") }
+func BenchmarkE13CrashChurn(b *testing.B)              { benchExperiment(b, "E13") }
 
 // Design-choice ablations (A1–A6; see DESIGN.md and the experiment notes).
 func BenchmarkA1BorderlinePolicy(b *testing.B)    { benchExperiment(b, "A1") }

@@ -1,10 +1,11 @@
-// Command experiments regenerates the reproduction tables E1–E12 (see
+// Command experiments regenerates the reproduction tables E1–E13 (see
 // DESIGN.md for the mapping from paper claims to experiments and
 // EXPERIMENTS.md for recorded results).
 //
 // Usage:
 //
 //	experiments [-run E1,E5] [-quick] [-seed N] [-p workers] [-list]
+//	experiments -run E1 -faults 'crash(1,20s);recover(1,40s)'
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"strings"
 
 	"pervasive/internal/experiments"
+	"pervasive/internal/faults"
 	"pervasive/internal/runner"
 )
 
@@ -26,6 +28,8 @@ func main() {
 		"include the A1–A6 design-choice ablations when running 'all'")
 	par := flag.Int("p", 1, "worker pool size for replications; 0 means all cores; "+
 		"output is byte-identical at every setting")
+	faultsSpec := flag.String("faults", "", "fault plan installed into every pulse workload, "+
+		"e.g. 'crash(1,20s);recover(1,40s)' (experiments that sweep faults themselves ignore it)")
 	flag.Parse()
 
 	if *list {
@@ -55,7 +59,15 @@ func main() {
 	if *par == 0 {
 		*par = runner.AllCores()
 	}
-	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Parallelism: *par}
+	var plan *faults.Plan
+	if *faultsSpec != "" {
+		var err error
+		if plan, err = faults.Parse(*faultsSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -faults: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	cfg := experiments.RunConfig{Seed: *seed, Quick: *quick, Parallelism: *par, Faults: plan}
 	for _, e := range selected {
 		e.Run(cfg).Render(os.Stdout)
 	}

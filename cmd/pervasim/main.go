@@ -11,6 +11,7 @@
 //	pervasim -scenario hall -trace run.jsonl  # same, streaming JSONL form
 //	pervasim -scenario hall -metrics m.json   # runtime metrics: JSON file
 //	                                          # + table on stderr
+//	pervasim -scenario hall -faults 'crash(1,20s);recover(1,40s)'
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"pervasive/internal/core"
+	"pervasive/internal/faults"
 	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/scenario"
@@ -40,10 +42,11 @@ func main() {
 		initial  = flag.Int("initial", 195, "hall: initial occupancy")
 		modality = flag.String("modality", "instantaneously",
 			"office: instantaneously | possibly | definitely")
-		alarm     = flag.String("alarm", "crowding", "hospital: crowding | ward")
-		epsilon   = flag.Duration("epsilon", time.Millisecond, "physical: sync skew bound ε")
+		alarm       = flag.String("alarm", "crowding", "hospital: crowding | ward")
+		epsilon     = flag.Duration("epsilon", time.Millisecond, "physical: sync skew bound ε")
 		tracePath   = flag.String("trace", "", "hall: write JSON event trace to this file (.jsonl for streaming form)")
 		metricsPath = flag.String("metrics", "", "write a runtime-metrics JSON snapshot to this file and a table to stderr")
+		faultsSpec  = flag.String("faults", "", "fault plan, e.g. 'crash(1,20s);recover(1,40s);partition(0.1|2,10s,30s)'")
 	)
 	flag.Parse()
 
@@ -54,6 +57,18 @@ func main() {
 	mod, err := parseModality(*modality)
 	if err != nil {
 		fatal(err)
+	}
+	var plan *faults.Plan
+	if *faultsSpec != "" {
+		if plan, err = faults.Parse(*faultsSpec); err != nil {
+			fatal(fmt.Errorf("-faults: %w", err))
+		}
+	}
+	// installFaults arms the plan on the wired scenario before it runs.
+	installFaults := func(h *core.Harness) {
+		if plan != nil {
+			h.InstallFaults(plan)
+		}
 	}
 	delay := sim.NewDeltaBounded(dur(*delta))
 	hz := dur(*horizon)
@@ -80,6 +95,7 @@ func main() {
 			cfg.Trace = tr
 		}
 		hl := scenario.NewHall(cfg)
+		installFaults(hl.Harness)
 		res = hl.Run()
 		extra = fmt.Sprintf("predicate: %s", scenario.OccupancyPredicate(*capacity))
 	case "office":
@@ -87,6 +103,7 @@ func main() {
 			Seed: *seed, Rooms: 1, Modality: mod, Delay: delay,
 			Horizon: hz, Actuate: true, Obs: reg,
 		})
+		installFaults(of.Harness)
 		res = of.Run()
 		extra = fmt.Sprintf("modality: %v, thermostat actuations: %d", mod, of.Actuations)
 	case "hospital":
@@ -94,18 +111,21 @@ func main() {
 			Seed: *seed, Alarm: *alarm, Kind: kind, Delay: delay, Horizon: hz,
 			Obs: reg,
 		})
+		installFaults(hp.Harness)
 		res = hp.Run()
 		extra = fmt.Sprintf("alarm: %s, raised: %d", *alarm, hp.Alarms)
 	case "habitat":
 		hb := scenario.NewHabitat(scenario.HabitatConfig{
 			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz, Obs: reg,
 		})
+		installFaults(hb.Harness)
 		res = hb.Run()
 		extra = "predicate: herd congregation (≥2 waterholes occupied)"
 	case "proximity":
 		px := scenario.NewProximity(scenario.ProximityConfig{
 			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz, Obs: reg,
 		})
+		installFaults(px.Harness)
 		res = px.Run()
 		extra = fmt.Sprintf("predicate: visitor within %gm of patient; alarms: %d",
 			px.Cfg.Radius, px.Alarms)
@@ -127,6 +147,9 @@ func main() {
 		res.Confusion.Accuracy(), res.Confusion.BorderlineCoverage())
 	fmt.Printf("network: %d msgs sent, %d delivered, %d dropped, %d bytes\n",
 		res.Net.Sent, res.Net.Delivered, res.Net.Dropped, res.Net.Bytes)
+	if plan != nil {
+		fmt.Printf("faults: plan %q\n", plan)
+	}
 
 	var snap *obs.Snapshot
 	if reg != nil {

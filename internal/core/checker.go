@@ -29,6 +29,7 @@ type StrobeChecker struct {
 	vals       []map[string]float64
 	stamps     []clock.Vector // latest applied vector stamp per proc (nil = none)
 	lastSeq    []int
+	lastEpoch  []int // crash/recovery epoch per proc (see StrobeMsg.Epoch)
 	lastChange []change
 	// state is the checker's view pre-boxed as a predicate.State: Holds
 	// is called several times per strobe (once per apply plus the
@@ -111,6 +112,7 @@ func newStrobeChecker(n int, pred predicate.Cond, raceAware bool) *StrobeChecker
 		vals:       make([]map[string]float64, n),
 		stamps:     make([]clock.Vector, n),
 		lastSeq:    make([]int, n),
+		lastEpoch:  make([]int, n),
 		lastChange: make([]change, n),
 	}
 	for i := range c.vals {
@@ -151,7 +153,33 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 	if c.finished {
 		return
 	}
-	if m.Proc < 0 || m.Proc >= c.n || m.Seq <= c.lastSeq[m.Proc] {
+	if m.Proc < 0 || m.Proc >= c.n {
+		c.Stale++
+		c.obsStale.Inc()
+		return
+	}
+	// Epoch discipline: a recovered process restarts with Seq 1 under a
+	// bumped epoch. Stamps from an older epoch are pre-crash stragglers —
+	// discarding them (and resetting the per-process order state on the
+	// bump) is what keeps the checker from merging pre-crash strobe state
+	// into the rebooted process's fresh causal history.
+	switch {
+	case m.Epoch < c.lastEpoch[m.Proc]:
+		c.Stale++
+		c.obsStale.Inc()
+		return
+	case m.Epoch > c.lastEpoch[m.Proc]:
+		c.lastEpoch[m.Proc] = m.Epoch
+		c.lastSeq[m.Proc] = 0
+		c.stamps[m.Proc] = nil
+		c.lastChange[m.Proc] = change{}
+		if c.recon != nil && c.recon[m.Proc] != nil {
+			for i := range c.recon[m.Proc] {
+				c.recon[m.Proc][i] = 0
+			}
+		}
+	}
+	if m.Seq <= c.lastSeq[m.Proc] {
 		c.Stale++
 		c.obsStale.Inc()
 		return

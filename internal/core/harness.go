@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"strconv"
 
 	"pervasive/internal/clock"
+	"pervasive/internal/faults"
 	"pervasive/internal/lattice"
 	"pervasive/internal/network"
 	"pervasive/internal/obs"
@@ -63,6 +65,10 @@ type HarnessConfig struct {
 	// engine's virtual clock. Nil (the default) disables instrumentation
 	// at zero cost.
 	Obs *obs.Registry
+	// Faults, if non-nil and non-empty, is the deterministic fault plan:
+	// crashes/recoveries of sensor processes (not the checker P0),
+	// partitions, and duplicate/reorder windows. See package faults.
+	Faults *faults.Plan
 }
 
 // Harness owns one wired simulation.
@@ -77,6 +83,9 @@ type Harness struct {
 	StrobeCk *StrobeChecker
 	PhysCk   *PhysicalChecker
 	ConjCk   *ConjunctiveChecker
+
+	// Faults is the compiled fault injector; nil when no plan is installed.
+	Faults *faults.Injector
 }
 
 // Results of a harness run.
@@ -181,7 +190,52 @@ func NewHarness(cfg HarnessConfig) *Harness {
 	}
 
 	h.Sensors = NewSensors(eng, nt, scfg)
+	h.InstallFaults(cfg.Faults)
 	return h
+}
+
+// InstallFaults compiles and installs a fault plan: the transport gates
+// sends/deliveries on it, and crash/recover transitions are scheduled as
+// engine events driving Sensor.Crash/Rejoin. Call before Run (transition
+// times must not be in the engine's past). A nil or empty plan is a no-op
+// and leaves the fault-free fast path untouched. Crash/recover events
+// must target sensor processes (0..N-1) — the checker P0 is the one
+// process the model keeps up — though partitions may isolate it by
+// listing index N. Panics on an out-of-range event process.
+func (h *Harness) InstallFaults(plan *faults.Plan) {
+	inj := faults.NewInjector(plan)
+	if inj == nil {
+		return
+	}
+	for _, ev := range plan.Events {
+		if ev.Proc < 0 || ev.Proc >= h.Cfg.N {
+			panic(fmt.Sprintf("core: fault plan event targets process %d; crash/recover is limited to sensors 0..%d",
+				ev.Proc, h.Cfg.N-1))
+		}
+	}
+	h.Faults = inj
+	h.Net.SetFaults(inj)
+	crashes := h.Cfg.Obs.Counter("faults.crashes")
+	recoveries := h.Cfg.Obs.Counter("faults.recoveries")
+	spans := make([]obs.Span, h.Cfg.N)
+	for _, ev := range inj.Transitions() {
+		ev := ev
+		h.Eng.At(ev.At, func(now sim.Time) {
+			s := h.Sensors[ev.Proc]
+			switch ev.Kind {
+			case faults.Crash:
+				s.Crash()
+				crashes.Inc()
+				spans[ev.Proc] = h.Cfg.Obs.StartSpanAt(
+					"faults.down.p"+strconv.Itoa(ev.Proc), now)
+			case faults.Recover:
+				s.Rejoin()
+				recoveries.Inc()
+				spans[ev.Proc].EndAt(now)
+				spans[ev.Proc] = obs.Span{}
+			}
+		})
+	}
 }
 
 // Bind connects object obj's attr to variable varName at sensor proc.

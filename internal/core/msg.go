@@ -30,8 +30,12 @@ import (
 // (sense) event, per rules SVC1 / SSC1. Exactly one of Vec or Scalar is
 // meaningful, chosen by the emitting sensor's clock kind.
 type StrobeMsg struct {
-	Proc  int
-	Seq   int     // per-process sense event counter (1-based)
+	Proc int
+	Seq  int // per-process sense event counter (1-based)
+	// Epoch is bumped each time the sender recovers from a crash; the
+	// checker uses it to tell "rebooted with a fresh Seq" apart from
+	// "stale reordered strobe". 0 until the first recovery.
+	Epoch int
 	Var   string  // the bound variable that changed
 	Value float64 // its new value
 	// Vec is the strobe vector stamp (vector protocol).
@@ -48,6 +52,9 @@ type StrobeMsg struct {
 // scalar strobes O(1) (Section 4.2.2).
 func (m StrobeMsg) WireSize() int {
 	base := 2 /*proc*/ + 4 /*seq*/ + 2 /*var id*/ + 8 /*value*/
+	if m.Epoch > 0 {
+		base += 2 // epoch tag, only carried once a process has rebooted
+	}
 	switch {
 	case m.Vec != nil:
 		return base + 8*len(m.Vec)

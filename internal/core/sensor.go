@@ -55,14 +55,17 @@ type Sensor struct {
 	eng        *sim.Engine
 	net        *network.Net
 	checkerIdx int
+	n          int // fleet size (for fresh clocks on Rejoin)
 
 	vec  *clock.StrobeVector
 	sc   *clock.StrobeScalar
 	dvec *clock.DiffStrobeVector
 	phys clock.Physical
 
-	seq  int
-	vals map[string]float64
+	seq   int
+	epoch int  // bumped on each Rejoin; carried in strobes
+	down  bool // crashed: sense nothing, merge nothing
+	vals  map[string]float64
 
 	// Conjunctive-mode state: the local conjunct and its current interval.
 	localConj   predicate.Cond
@@ -113,7 +116,7 @@ func NewSensors(eng *sim.Engine, net *network.Net, cfg SensorConfig) []*Sensor {
 	out := make([]*Sensor, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		s := &Sensor{
-			ID: i, Kind: cfg.Kind,
+			ID: i, Kind: cfg.Kind, n: cfg.N,
 			eng: eng, net: net, checkerIdx: cfg.CheckerIdx,
 			vals:      make(map[string]float64),
 			localConj: cfg.LocalConj,
@@ -151,6 +154,9 @@ func (s *Sensor) Bind(w *world.World, obj int, attr, varName string) {
 // onSense handles one sense (n) event: tick the clock, emit control
 // traffic, maintain the conjunct interval.
 func (s *Sensor) onSense(varName string, value float64) {
+	if s.down {
+		return // a crashed process observes nothing and sends nothing
+	}
 	now := s.eng.Now()
 	s.seq++
 	s.vals[varName] = value
@@ -159,14 +165,14 @@ func (s *Sensor) onSense(varName string, value float64) {
 	switch s.Kind {
 	case VectorStrobe:
 		stamp = s.vec.Strobe() // SVC1
-		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Var: varName, Value: value, Vec: stamp}
+		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Epoch: s.epoch, Var: varName, Value: value, Vec: stamp}
 		s.net.Broadcast(s.ID, msg)
 		if s.Local != nil {
 			s.Local.OnStrobe(msg, now)
 		}
 	case ScalarStrobe:
 		sv := s.sc.Strobe() // SSC1
-		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Var: varName, Value: value, Scalar: sv}
+		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Epoch: s.epoch, Var: varName, Value: value, Scalar: sv}
 		s.net.Broadcast(s.ID, msg)
 		if s.Local != nil {
 			s.Local.OnStrobe(msg, now)
@@ -174,7 +180,7 @@ func (s *Sensor) onSense(varName string, value float64) {
 	case DiffVectorStrobe:
 		sparse := s.dvec.Strobe() // SVC1 with differential wire format
 		stamp = s.dvec.Snapshot()
-		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Var: varName, Value: value, Sparse: sparse}
+		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Epoch: s.epoch, Var: varName, Value: value, Sparse: sparse}
 		s.net.Broadcast(s.ID, msg)
 		if s.Local != nil {
 			s.Local.OnStrobe(msg, now)
@@ -244,6 +250,9 @@ func (s *Sensor) FlushConjunct(horizon sim.Time) {
 // SSC2). Note the receiver does not tick — the defining difference from
 // causal clocks (Section 4.2.3).
 func (s *Sensor) onMessage(m network.Message, now sim.Time) {
+	if s.down {
+		return // defensive: the transport already gates crashed receivers
+	}
 	strobe, ok := m.Payload.(StrobeMsg)
 	if !ok {
 		return
@@ -269,6 +278,38 @@ func (s *Sensor) onMessage(m network.Message, now sim.Time) {
 		})
 	}
 }
+
+// Crash takes the sensor down: until Rejoin it ignores sense events and
+// incoming strobes. Volatile protocol state (clock, seq) is conceptually
+// lost at this instant; Rejoin rebuilds it fresh.
+func (s *Sensor) Crash() { s.down = true }
+
+// Rejoin brings a crashed sensor back with a fresh strobe clock, Seq
+// restarting from 1 and a bumped epoch — the wire-visible signal that
+// lets the checker separate the reboot from a stale reordered strobe.
+// Locally cached variable values are also lost (re-sensed on the next
+// world event), as is any open conjunct interval.
+func (s *Sensor) Rejoin() {
+	s.down = false
+	s.seq = 0
+	s.epoch++
+	s.conjOpen = false
+	s.vals = make(map[string]float64)
+	switch s.Kind {
+	case VectorStrobe:
+		s.vec = clock.NewStrobeVector(s.ID, s.n)
+	case ScalarStrobe:
+		s.sc = &clock.StrobeScalar{}
+	case DiffVectorStrobe:
+		s.dvec = clock.NewDiffStrobeVector(s.ID, s.n)
+	}
+}
+
+// Down reports whether the sensor is currently crashed.
+func (s *Sensor) Down() bool { return s.down }
+
+// Epoch returns the sensor's current crash/recovery epoch.
+func (s *Sensor) Epoch() int { return s.epoch }
 
 // localState adapts a sensor's local variables to predicate.State; any
 // process index in the conjunct resolves to this sensor's values.

@@ -50,6 +50,7 @@ func A7DistributedCheckers(cfg RunConfig) *Table {
 			MeanHigh: 400 * sim.Millisecond, MeanLow: 600 * sim.Millisecond,
 			Kind: core.VectorStrobe, Delay: delay,
 			Horizon: sim.Time(cfg.pick(40, 15)) * sim.Second,
+			Faults:  cfg.Faults,
 		}
 		h := pw.build(cfg.Seed + uint64(s))
 		// Attach a replica to every sensor.

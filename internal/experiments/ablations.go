@@ -105,6 +105,7 @@ func A2RaceCriterion(cfg RunConfig) *Table {
 				Kind:    core.VectorStrobe,
 				Delay:   sim.NewDeltaBounded(150 * sim.Millisecond),
 				Horizon: sim.Time(cfg.pick(60, 20)) * sim.Second,
+				Faults:  cfg.Faults,
 			}
 			h := pw.build(cfg.Seed + uint64(s))
 			h.StrobeCk.NaiveRace = naive
@@ -178,6 +179,7 @@ func A3BroadcastStrategy(cfg RunConfig) *Table {
 			Delay:   sim.NewDeltaBounded(30 * sim.Millisecond), // per hop when flooding
 			Horizon: sim.Time(cfg.pick(40, 15)) * sim.Second,
 			Topo:    topo, Flood: flood,
+			Faults: cfg.Faults,
 		}
 		res := pw.run(cfg.Seed + uint64(s))
 		return netOutcome{conf: res.Confusion, msgs: res.Net.Sent, bytes: res.Net.Bytes}
@@ -305,7 +307,7 @@ func A5PhysicalSlack(cfg RunConfig) *Table {
 		h := core.NewHarness(core.HarnessConfig{
 			Seed: cfg.Seed + uint64(s), N: pw.N, Kind: pw.Kind,
 			Delay: pw.Delay, Pred: pw.pred(), Epsilon: pw.Epsilon,
-			Slack: slack, Horizon: pw.Horizon,
+			Slack: slack, Horizon: pw.Horizon, Faults: cfg.Faults,
 		})
 		for i := 0; i < pw.N; i++ {
 			obj := h.World.AddObject(fmt.Sprintf("obj-%d", i), nil)

@@ -5,6 +5,7 @@ import (
 
 	"pervasive/internal/clock"
 	"pervasive/internal/core"
+	"pervasive/internal/faults"
 	"pervasive/internal/network"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
@@ -31,6 +32,7 @@ type pulseWorkload struct {
 	LogStamps bool
 	Topo      network.Topology
 	Flood     bool
+	Faults    *faults.Plan
 }
 
 func (pw pulseWorkload) pred() predicate.Cond {
@@ -43,7 +45,7 @@ func (pw pulseWorkload) build(seed uint64) *core.Harness {
 		Seed: seed, N: pw.N, Kind: pw.Kind, Delay: pw.Delay,
 		Pred: pw.pred(), Modality: predicate.Instantaneously,
 		Epsilon: pw.Epsilon, Horizon: pw.Horizon, LogStamps: pw.LogStamps,
-		Topo: pw.Topo, Flood: pw.Flood,
+		Topo: pw.Topo, Flood: pw.Flood, Faults: pw.Faults,
 	})
 	for i := 0; i < pw.N; i++ {
 		obj := h.World.AddObject(fmt.Sprintf("obj-%d", i), nil)
@@ -64,8 +66,12 @@ func (pw pulseWorkload) run(seed uint64) core.Results {
 }
 
 // runSeeds runs the workload at seeds base..base+n-1 across cfg's worker
-// pool, returning results in seed order.
+// pool, returning results in seed order. A cfg-level fault plan (the
+// CLI's -faults flag) applies unless the workload carries its own.
 func (pw pulseWorkload) runSeeds(cfg RunConfig, n int) []core.Results {
+	if pw.Faults == nil {
+		pw.Faults = cfg.Faults
+	}
 	return core.RunMany(cfg.Parallelism, n, func(s int) *core.Harness {
 		return pw.build(cfg.Seed + uint64(s))
 	})

@@ -6,7 +6,9 @@ import "testing"
 // in the output: tables rendered at any worker count must be
 // byte-identical to the sequential run. E1 exercises the plain
 // flatten-and-aggregate pattern; A4 exercises the pre-drawn shared-RNG
-// pattern (one stream feeding every sweep cell).
+// pattern (one stream feeding every sweep cell); E13 exercises per-job
+// derived randomness (each job draws its own fault plan from a
+// seed-derived RNG inside the worker).
 func TestTablesByteIdenticalAcrossParallelism(t *testing.T) {
 	cases := []struct {
 		name string
@@ -14,6 +16,7 @@ func TestTablesByteIdenticalAcrossParallelism(t *testing.T) {
 	}{
 		{"E1", E1StrobeAccuracy},
 		{"A4", A4DiffCompression},
+		{"E13", E13CrashChurn},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

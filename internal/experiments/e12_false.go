@@ -50,6 +50,7 @@ func E12FalseCausality(cfg RunConfig) *Table {
 			MeanHigh: 400 * sim.Millisecond, MeanLow: 600 * sim.Millisecond,
 			Kind: core.VectorStrobe, Delay: delay,
 			Horizon: 30 * sim.Second, LogStamps: true,
+			Faults: cfg.Faults,
 		}
 		h := pw.build(cfg.Seed)
 		h.Run()

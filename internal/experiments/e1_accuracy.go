@@ -72,6 +72,7 @@ func E1StrobeAccuracy(cfg RunConfig) *Table {
 			Kind:    j.kind,
 			Delay:   sim.NewDeltaBounded(j.delta),
 			Horizon: horizon,
+			Faults:  cfg.Faults,
 		}
 		if j.kind == core.PhysicalReport {
 			pw.Epsilon = sim.Millisecond

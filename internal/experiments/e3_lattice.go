@@ -64,6 +64,7 @@ func E3SlimLattice(cfg RunConfig) *Table {
 			Kind: core.VectorStrobe, Delay: reg.delay,
 			Horizon:   30 * sim.Second,
 			LogStamps: true,
+			Faults:    cfg.Faults,
 		}
 		h := pw.build(cfg.Seed + uint64(s))
 		h.Run()

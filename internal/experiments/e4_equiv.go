@@ -37,6 +37,7 @@ func E4ScalarVectorEquivalence(cfg RunConfig) *Table {
 					MeanHigh: 300 * sim.Millisecond, MeanLow: 400 * sim.Millisecond,
 					Kind: kind, Delay: delay,
 					Horizon: sim.Time(cfg.pick(60, 15)) * sim.Second,
+					Faults:  cfg.Faults,
 				}.run(cfg.Seed + uint64(s)).Confusion
 			}
 			return pair{v: mk(core.VectorStrobe), sc: mk(core.ScalarStrobe)}

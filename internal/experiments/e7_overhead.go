@@ -47,6 +47,7 @@ func E7MessageOverhead(cfg RunConfig) *Table {
 			Kind: k.kind, Delay: sim.NewDeltaBounded(20 * sim.Millisecond),
 			Epsilon: sim.Millisecond,
 			Horizon: sim.Time(cfg.pick(20, 5)) * sim.Second,
+			Faults:  cfg.Faults,
 		}
 		h := pw.build(cfg.Seed)
 		res := h.Run()

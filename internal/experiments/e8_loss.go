@@ -53,6 +53,7 @@ func E8LossLocalization(cfg RunConfig) *Table {
 				N: 3, K: 2,
 				MeanHigh: 700 * sim.Millisecond, MeanLow: 900 * sim.Millisecond,
 				Kind: core.VectorStrobe, Delay: delay, Horizon: horizon,
+				Faults: cfg.Faults,
 			}.run(cfg.Seed + uint64(s))
 		}
 		clean := mk(false)

@@ -1,5 +1,5 @@
 // Package experiments regenerates every quantitative claim of the paper
-// as a numbered experiment (E1–E12; see DESIGN.md for the claim-to-
+// as a numbered experiment (E1–E13; see DESIGN.md for the claim-to-
 // experiment mapping). Each experiment is a pure function from a run
 // configuration to a printable table; cmd/experiments and the root
 // benchmark suite share these implementations.
@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"pervasive/internal/faults"
 )
 
 // Table is one experiment's result, rendered as an aligned text table.
@@ -100,6 +102,11 @@ type RunConfig struct {
 	// (E2's clock fleets, A4's workload draws) is pre-drawn sequentially
 	// before the fan-out, preserving exact sequential output.
 	Parallelism int
+	// Faults, when non-nil, installs this fault plan into every
+	// pulse-workload harness that does not define its own (the CLI's
+	// -faults flag). Experiments that sweep fault plans themselves (E13)
+	// ignore it.
+	Faults *faults.Plan
 }
 
 // pick returns quick when cfg.Quick, else full.
@@ -131,6 +138,7 @@ var All = []Experiment{
 	{"E10", "every-occurrence vs detect-once", E10EveryOccurrence},
 	{"E11", "hidden channels defeat causality tracking", E11HiddenChannels},
 	{"E12", "strobes as causal clocks inject false causality", E12FalseCausality},
+	{"E13", "crash/recovery churn sweep", E13CrashChurn},
 }
 
 // ByID finds an experiment or ablation by its ID (case-insensitive).

@@ -173,9 +173,12 @@ const deadPair = uint64(math.MaxUint32)
 // prep returns the execution's survey preprocessing, building and
 // caching it on first use. The cache assumes Stamps are not mutated
 // after the first lattice statistic is computed (every caller in this
-// repository trims/clamps stamps before analysis).
+// repository trims/clamps stamps before analysis). While tests force
+// the string-key fallback the cache is bypassed in both directions, so
+// a packed prep cached earlier cannot stand in for the fallback (or
+// vice versa).
 func (e *Execution) prep() *surveyPrep {
-	if p := e.surveyPrep.Load(); p != nil {
+	if p := e.surveyPrep.Load(); p != nil && !forceStringKeys {
 		return p
 	}
 	n := e.N()
@@ -234,7 +237,9 @@ func (e *Execution) prep() *surveyPrep {
 		p.packed, p.bits = true, vb
 	}
 	if !p.packed {
-		e.surveyPrep.Store(p)
+		if !forceStringKeys {
+			e.surveyPrep.Store(p)
+		}
 		return p
 	}
 
@@ -615,7 +620,11 @@ func (s *surveyRun) expandParallel(par, workers int, cur, next []fent, sc *surve
 	if sc.chunkBuf == nil || len(sc.chunkBuf) < workers {
 		sc.chunkBuf = make([][]fent, workers)
 		sc.chunkComp = make([][]uint64, workers)
-		for w := range sc.chunkComp {
+	}
+	for w := range sc.chunkComp {
+		// Pooled scratch may come from a survey of a narrower execution;
+		// the decode buffers must fit this run's n.
+		if len(sc.chunkComp[w]) < s.n {
 			sc.chunkComp[w] = make([]uint64, s.n)
 		}
 	}

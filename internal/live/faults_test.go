@@ -1,0 +1,199 @@
+package live
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"pervasive/internal/core"
+	"pervasive/internal/faults"
+	"pervasive/internal/obs"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+)
+
+// TestLiveOverloadStaysBounded is the regression test for the overload
+// pileup: the old broadcast parked one timer goroutine on `peer.in <- m`
+// per message that found the mailbox full, so saturating a node leaked
+// goroutines until shutdown. A full mailbox must now be a counted drop.
+func TestLiveOverloadStaysBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	const buffer = 4
+	nw := Start(Config{
+		N: 2, Seed: 1, Kind: core.VectorStrobe,
+		Delay:  sim.Synchronous{},
+		Pred:   predicate.MustParse("x@0 == 1"),
+		Buffer: buffer,
+		Obs:    reg,
+	})
+	// Stall node 1 by ending its goroutine life directly (white-box; not
+	// marked down, so deliveries still target its mailbox). Nothing
+	// drains `in` — the saturated consumer the old code answered with one
+	// permanently blocked goroutine per overflowing message.
+	close(nw.Node(1).die)
+	time.Sleep(5 * time.Millisecond)
+	base := runtime.NumGoroutine()
+	const blast = 500
+	for k := 0; k < blast; k++ {
+		nw.Node(0).Sense("x", float64(k%2))
+	}
+	time.Sleep(100 * time.Millisecond) // let every delivery timer fire
+	peak := runtime.NumGoroutine()
+	if peak > base+50 {
+		t.Fatalf("goroutines grew from %d to %d under overload — deliveries are blocking again", base, peak)
+	}
+	if got := nw.MailboxDrops(); got != blast-buffer {
+		t.Fatalf("mailbox drops %d, want %d (mailbox holds %d of %d deliveries)",
+			got, blast-buffer, buffer, blast)
+	}
+	drops := nw.MailboxDrops()
+	nw.Stop(10*time.Millisecond, sim.Millisecond)
+	counters := map[string]int64{}
+	for _, c := range reg.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["live.mailbox_drops"] != drops {
+		t.Fatalf("live.mailbox_drops=%d, MailboxDrops()=%d", counters["live.mailbox_drops"], drops)
+	}
+}
+
+// TestLiveOverloadAgainstCrashedNode drives the exact ISSUE scenario: a
+// crashed receiver whose mailbox nobody drains. Every delivery must
+// resolve promptly (drop), never park a goroutine.
+func TestLiveOverloadAgainstCrashedNode(t *testing.T) {
+	nw := Start(Config{
+		N: 2, Seed: 2, Kind: core.VectorStrobe,
+		Delay:  sim.Synchronous{},
+		Pred:   predicate.MustParse("x@0 == 1"),
+		Buffer: 4,
+		Faults: faults.NewPlan().Crash(1, 0),
+	})
+	time.Sleep(5 * time.Millisecond) // let the t=0 crash timer fire
+	base := runtime.NumGoroutine()
+	const blast = 500
+	for k := 0; k < blast; k++ {
+		nw.Node(0).Sense("x", float64(k%2))
+	}
+	time.Sleep(50 * time.Millisecond)
+	peak := runtime.NumGoroutine()
+	if peak > base+50 {
+		t.Fatalf("goroutines grew from %d to %d against a crashed node", base, peak)
+	}
+	if nw.fault.Counts.CrashDrops.Load() == 0 {
+		t.Fatal("deliveries to the crashed node were not counted")
+	}
+	nw.Stop(10*time.Millisecond, sim.Millisecond)
+}
+
+// TestLiveMailboxWatermark: the depth metric must be the high-watermark
+// across all deliveries, not whichever delivery goroutine wrote last.
+func TestLiveMailboxWatermark(t *testing.T) {
+	reg := obs.NewRegistry()
+	nw := Start(Config{
+		N: 3, Seed: 3, Kind: core.VectorStrobe,
+		Delay: sim.DeltaBounded{Min: 10, Max: 100},
+		Pred:  predicate.MustParse("sum(x) > 2"),
+		Obs:   reg,
+	})
+	for k := 0; k < 100; k++ {
+		nw.Node(0).Sense("x", float64(k%2))
+		nw.Node(1).Sense("x", float64(k%2))
+	}
+	time.Sleep(50 * time.Millisecond)
+	hw := nw.MailboxHighWatermark()
+	if hw <= 0 {
+		t.Fatal("no mailbox depth observed")
+	}
+	snap := reg.Snapshot()
+	nw.Stop(10*time.Millisecond, sim.Millisecond)
+	for _, g := range snap.Gauges {
+		if g.Name == "live.mailbox_depth" {
+			if g.Max < hw {
+				t.Fatalf("gauge max %d below the true watermark %d", g.Max, hw)
+			}
+			return
+		}
+	}
+	t.Fatal("live.mailbox_depth gauge missing")
+}
+
+// TestLiveCrashRecovery: a mid-run crash silences the node; recovery
+// restarts it with a fresh epoch the checker accepts.
+func TestLiveCrashRecovery(t *testing.T) {
+	reg := obs.NewRegistry()
+	plan := faults.NewPlan().
+		Crash(1, sim.Time(20*time.Millisecond/time.Microsecond)).
+		Recover(1, sim.Time(60*time.Millisecond/time.Microsecond))
+	nw := Start(Config{
+		N: 2, Seed: 4, Kind: core.VectorStrobe,
+		Delay:  sim.DeltaBounded{Min: 50, Max: 200},
+		Pred:   predicate.MustParse("x@0 == 1 && x@1 == 1"),
+		Obs:    reg,
+		Faults: plan,
+	})
+	nw.Node(0).Sense("x", 1)
+	nw.Node(1).Sense("x", 1) // pre-crash life: Seq 1 epoch 0
+	time.Sleep(40 * time.Millisecond)
+	if !nw.Node(1).down.Load() {
+		t.Fatal("node 1 not down after crash time")
+	}
+	nw.Node(1).Sense("x", 0) // unobserved by the crashed sensor
+	time.Sleep(50 * time.Millisecond)
+	if nw.Node(1).down.Load() {
+		t.Fatal("node 1 still down after recovery time")
+	}
+	// Post-recovery: Seq restarts at 1 under epoch 1; the checker must
+	// apply it (predicate goes false) rather than discard it as stale.
+	nw.Node(1).Sense("x", 0)
+	time.Sleep(30 * time.Millisecond)
+	nw.checkerMu.Lock()
+	v := nw.checker.View(1, "x")
+	nw.checkerMu.Unlock()
+	if v != 0 {
+		t.Fatalf("checker never applied the post-recovery strobe: view=%v", v)
+	}
+	res := nw.Stop(20*time.Millisecond, 5*sim.Millisecond)
+	if res.Sent == 0 {
+		t.Fatal("no traffic")
+	}
+	counters := map[string]int64{}
+	for _, c := range reg.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["faults.crashes"] != 1 || counters["faults.recoveries"] != 1 {
+		t.Fatalf("transition counters: crashes=%d recoveries=%d",
+			counters["faults.crashes"], counters["faults.recoveries"])
+	}
+	if counters["faults.suppressed_sends"] == 0 {
+		t.Fatal("crashed sensor's missed sense not counted")
+	}
+}
+
+// TestLiveRecoveryDrainsMailbox: messages queued while a node was down
+// must not be replayed into its fresh life.
+func TestLiveRecoveryDrainsMailbox(t *testing.T) {
+	nw := Start(Config{
+		N: 2, Seed: 5, Kind: core.VectorStrobe,
+		Delay:  sim.Synchronous{},
+		Pred:   predicate.MustParse("x@0 == 1"),
+		Faults: faults.NewPlan().Crash(1, 0),
+	})
+	time.Sleep(5 * time.Millisecond)
+	// Stuff node 1's mailbox directly (deliveries short-circuit on down).
+	for k := 0; k < 10; k++ {
+		nw.Node(1).in <- core.StrobeMsg{Proc: 0, Seq: k + 1}
+	}
+	if !nw.recoverNode(1) {
+		t.Fatal("recoverNode reported no transition")
+	}
+	if got := len(nw.Node(1).in); got != 0 {
+		t.Fatalf("%d stale messages survived recovery", got)
+	}
+	if nw.drained.Load() != 10 {
+		t.Fatalf("drained %d, want 10", nw.drained.Load())
+	}
+	if nw.Node(1).epoch != 1 {
+		t.Fatalf("epoch %d after recovery", nw.Node(1).epoch)
+	}
+	nw.Stop(5*time.Millisecond, sim.Millisecond)
+}

@@ -13,11 +13,15 @@
 package live
 
 import (
+	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pervasive/internal/clock"
 	"pervasive/internal/core"
+	"pervasive/internal/faults"
 	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
@@ -45,6 +49,12 @@ type Config struct {
 	// duration of the run — e.g. "127.0.0.1:0". The bound address is in
 	// Network.Metrics.Addr.
 	MetricsAddr string
+	// Faults, if non-nil and non-empty, is the deterministic fault plan
+	// (package faults). Crash stops the node's goroutine; recover drains
+	// its mailbox and restarts it with fresh clocks, Seq 1 and a bumped
+	// epoch. Fault times are wall-clock µs since Start. Partitions and
+	// dup/reorder windows gate deliveries like the DES transport.
+	Faults *faults.Plan
 }
 
 // Network is a running live sensor network.
@@ -67,6 +77,22 @@ type Network struct {
 	done     chan struct{}
 	wg       sync.WaitGroup
 
+	// lifeMu serializes node crash/recover transitions against each other
+	// and against Stop; stopping blocks restarts once shutdown has begun.
+	lifeMu   sync.Mutex
+	stopping bool
+	fault    *faults.Injector
+	timers   []*time.Timer // pending fault transitions, stopped by Stop
+
+	// mailboxHW is the high-watermark of any node's mailbox depth. The old
+	// live.mailbox_depth gauge was Set from every delivery goroutine, so
+	// its value was whichever delivery ran last — a lottery, not a metric.
+	// Deliveries CAS-max into this atomic instead and a snapshot-time
+	// collector publishes it.
+	mailboxHW    atomic.Int64
+	mailboxDrops atomic.Int64
+	drained      atomic.Int64
+
 	sentMu sync.Mutex
 	sent   int64
 	bytes  int64
@@ -76,11 +102,12 @@ type Network struct {
 	Metrics *obs.MetricsServer
 
 	// Resolved obs instruments; nil (no-ops) when Config.Obs is nil.
-	obsSends   *obs.Counter
-	obsDrops   *obs.Counter
-	obsBytes   *obs.Counter
-	obsMailbox *obs.Gauge
-	obsChecker *obs.Counter
+	obsSends        *obs.Counter
+	obsDrops        *obs.Counter
+	obsBytes        *obs.Counter
+	obsMailbox      *obs.Gauge
+	obsMailboxDrops *obs.Counter
+	obsChecker      *obs.Counter
 }
 
 // Node is one goroutine-backed sensor process.
@@ -90,10 +117,22 @@ type Node struct {
 	in  chan core.StrobeMsg
 	cmd chan senseCmd
 
-	// clock state is owned by the node's goroutine
-	vec *clock.StrobeVector
-	sc  *clock.StrobeScalar
-	seq int
+	// down marks a crashed node: senders drop instead of enqueueing.
+	down atomic.Bool
+	// die ends the current goroutine life only (unlike nw.done); dead is
+	// closed by the goroutine as it exits, ordering its final clock
+	// accesses before the recovery's reset. Both replaced on each
+	// recovery, guarded by nw.lifeMu.
+	die  chan struct{}
+	dead chan struct{}
+
+	// clock state is owned by the node's goroutine; between a crash and
+	// the matching recovery no goroutine is live, so the reset in
+	// recoverNode is ordered before the restarted loop by the go statement.
+	vec   *clock.StrobeVector
+	sc    *clock.StrobeScalar
+	seq   int
+	epoch int
 }
 
 type senseCmd struct {
@@ -127,7 +166,22 @@ func Start(cfg Config) *Network {
 	nw.obsDrops = cfg.Obs.Counter("live.drops")
 	nw.obsBytes = cfg.Obs.Counter("live.bytes")
 	nw.obsMailbox = cfg.Obs.Gauge("live.mailbox_depth")
+	nw.obsMailboxDrops = cfg.Obs.Counter("live.mailbox_drops")
 	nw.obsChecker = cfg.Obs.Counter("live.checker_strobes")
+	if cfg.Obs != nil {
+		cfg.Obs.RegisterCollector(func(r *obs.Registry) {
+			hw := nw.mailboxHW.Load()
+			nw.obsMailbox.SetWithMax(hw, hw)
+			r.Counter("live.mailbox_drained").Store(nw.drained.Load())
+			if f := nw.fault; f != nil {
+				r.Counter("faults.suppressed_sends").Store(f.Counts.SuppressedSends.Load())
+				r.Counter("faults.crash_drops").Store(f.Counts.CrashDrops.Load())
+				r.Counter("faults.partition_drops").Store(f.Counts.PartitionDrops.Load())
+				r.Counter("faults.duplicates").Store(f.Counts.Duplicates.Load())
+				r.Counter("faults.reorders").Store(f.Counts.Reorders.Load())
+			}
+		})
+	}
 	if cfg.MetricsAddr != "" && cfg.Obs != nil {
 		cfg.Obs.PublishExpvar("pervasive")
 		if srv, err := cfg.Obs.Serve(cfg.MetricsAddr); err == nil {
@@ -143,8 +197,10 @@ func Start(cfg Config) *Network {
 	for i := 0; i < cfg.N; i++ {
 		n := &Node{
 			ID: i, nw: nw,
-			in:  make(chan core.StrobeMsg, cfg.Buffer),
-			cmd: make(chan senseCmd, cfg.Buffer),
+			in:   make(chan core.StrobeMsg, cfg.Buffer),
+			cmd:  make(chan senseCmd, cfg.Buffer),
+			die:  make(chan struct{}),
+			dead: make(chan struct{}),
 		}
 		if cfg.Kind == core.VectorStrobe {
 			n.vec = clock.NewStrobeVector(i, cfg.N)
@@ -155,10 +211,110 @@ func Start(cfg Config) *Network {
 	}
 	for _, n := range nw.nodes {
 		nw.wg.Add(1)
-		go n.loop()
+		go n.loop(n.die, n.dead)
 	}
+	nw.scheduleFaults(faults.NewInjector(cfg.Faults))
 	return nw
 }
+
+// scheduleFaults arms wall-clock timers for the plan's crash/recover
+// transitions and installs the injector gating deliveries.
+func (nw *Network) scheduleFaults(inj *faults.Injector) {
+	if inj == nil {
+		return
+	}
+	for _, ev := range inj.Transitions() {
+		if ev.Proc < 0 || ev.Proc >= nw.cfg.N {
+			panic(fmt.Sprintf("live: fault plan event targets process %d of %d", ev.Proc, nw.cfg.N))
+		}
+	}
+	nw.fault = inj
+	spans := make([]obs.Span, nw.cfg.N)
+	crashes := nw.cfg.Obs.Counter("faults.crashes")
+	recoveries := nw.cfg.Obs.Counter("faults.recoveries")
+	for _, ev := range inj.Transitions() {
+		ev := ev
+		t := time.AfterFunc(time.Duration(ev.At)*time.Microsecond, func() {
+			switch ev.Kind {
+			case faults.Crash:
+				if nw.crashNode(ev.Proc) {
+					crashes.Inc()
+					nw.lifeMu.Lock()
+					spans[ev.Proc] = nw.cfg.Obs.StartSpanAt(
+						"faults.down.p"+strconv.Itoa(ev.Proc), nw.Now())
+					nw.lifeMu.Unlock()
+				}
+			case faults.Recover:
+				if nw.recoverNode(ev.Proc) {
+					recoveries.Inc()
+					nw.lifeMu.Lock()
+					spans[ev.Proc].EndAt(nw.Now())
+					spans[ev.Proc] = obs.Span{}
+					nw.lifeMu.Unlock()
+				}
+			}
+		})
+		nw.timers = append(nw.timers, t)
+	}
+}
+
+// crashNode stops node i's goroutine; queued and future deliveries drop.
+// Reports whether a transition happened.
+func (nw *Network) crashNode(i int) bool {
+	nw.lifeMu.Lock()
+	defer nw.lifeMu.Unlock()
+	n := nw.nodes[i]
+	if nw.stopping || n.down.Load() {
+		return false
+	}
+	n.down.Store(true)
+	close(n.die)
+	return true
+}
+
+// recoverNode restarts a crashed node: whatever accumulated in its
+// mailbox while it was down is drained (a reboot loses volatile state),
+// clocks and Seq restart fresh, and the epoch bump tells the checker.
+// Reports whether a transition happened.
+func (nw *Network) recoverNode(i int) bool {
+	nw.lifeMu.Lock()
+	defer nw.lifeMu.Unlock()
+	n := nw.nodes[i]
+	if nw.stopping || !n.down.Load() {
+		return false
+	}
+	<-n.dead // the dead life's last clock accesses precede the reset
+drain:
+	for {
+		select {
+		case <-n.in:
+			nw.drained.Add(1)
+		case <-n.cmd:
+			nw.drained.Add(1)
+		default:
+			break drain
+		}
+	}
+	if n.vec != nil {
+		n.vec = clock.NewStrobeVector(n.ID, nw.cfg.N)
+	} else {
+		n.sc = &clock.StrobeScalar{}
+	}
+	n.seq = 0
+	n.epoch++
+	n.die = make(chan struct{})
+	n.dead = make(chan struct{})
+	n.down.Store(false)
+	nw.wg.Add(1)
+	go n.loop(n.die, n.dead)
+	return true
+}
+
+// MailboxHighWatermark returns the deepest any node's mailbox has been.
+func (nw *Network) MailboxHighWatermark() int64 { return nw.mailboxHW.Load() }
+
+// MailboxDrops returns deliveries dropped because a mailbox was full.
+func (nw *Network) MailboxDrops() int64 { return nw.mailboxDrops.Load() }
 
 // Now returns the network's virtual time (µs since Start).
 func (nw *Network) Now() sim.Time {
@@ -172,6 +328,14 @@ func (nw *Network) Node(i int) *Node { return nw.nodes[i] }
 // broadcasts the strobe, and the ground-truth log records the true time.
 func (n *Node) Sense(varName string, value float64) {
 	n.nw.recordTruth(n.ID, varName, value)
+	if n.down.Load() {
+		// The world changed but the crashed sensor did not observe it;
+		// ground truth above still records the change.
+		if f := n.nw.fault; f != nil {
+			f.Counts.SuppressedSends.Add(1)
+		}
+		return
+	}
 	select {
 	case n.cmd <- senseCmd{varName: varName, value: value}:
 	case <-n.nw.done:
@@ -190,12 +354,15 @@ func (nw *Network) recordTruth(proc int, varName string, value float64) {
 // loop is the node goroutine: it serializes sense commands and incoming
 // strobes, owning the node's clock without locks — share memory by
 // communicating.
-func (n *Node) loop() {
+func (n *Node) loop(die, dead chan struct{}) {
 	defer n.nw.wg.Done()
+	defer close(dead)
 	for {
 		select {
 		case <-n.nw.done:
 			return
+		case <-die:
+			return // crashed; recoverNode starts a fresh life
 		case cmd := <-n.cmd:
 			n.onSense(cmd)
 		case m := <-n.in:
@@ -206,7 +373,7 @@ func (n *Node) loop() {
 
 func (n *Node) onSense(cmd senseCmd) {
 	n.seq++
-	msg := core.StrobeMsg{Proc: n.ID, Seq: n.seq, Var: cmd.varName, Value: cmd.value}
+	msg := core.StrobeMsg{Proc: n.ID, Seq: n.seq, Epoch: n.epoch, Var: cmd.varName, Value: cmd.value}
 	if n.vec != nil {
 		msg.Vec = n.vec.Strobe() // SVC1
 	} else {
@@ -226,33 +393,47 @@ func (n *Node) onStrobe(m core.StrobeMsg) {
 // broadcast delivers the strobe to every other node and the checker, each
 // copy after an independently sampled delay.
 func (nw *Network) broadcast(src int, m core.StrobeMsg) {
+	now := nw.Now()
+	f := nw.fault
 	for _, peer := range nw.nodes {
 		if peer.ID == src {
 			continue
 		}
 		peer := peer
-		d, dropped := nw.sampleDelay(src, peer.ID)
 		nw.count(m)
+		if f != nil && f.Cut(src, peer.ID, now) {
+			f.Counts.PartitionDrops.Add(1)
+			nw.obsDrops.Inc()
+			continue
+		}
+		d, dropped := nw.sampleDelay(src, peer.ID)
 		if dropped {
 			nw.obsDrops.Inc()
 			continue
 		}
-		time.AfterFunc(d.Std(), func() {
-			select {
-			case peer.in <- m:
-				nw.obsMailbox.Set(int64(len(peer.in)))
-			case <-nw.done:
+		nw.scheduleDelivery(peer, m, d, now)
+		if f != nil {
+			if p := f.DupProb(now); p > 0 && nw.chance(p) {
+				if d2, dropped2 := nw.sampleDelay(src, peer.ID); !dropped2 {
+					f.Counts.Duplicates.Add(1)
+					nw.scheduleDelivery(peer, m, d2, now)
+				}
 			}
-		})
+		}
 	}
 	// checker copy
-	d, dropped := nw.sampleDelay(src, nw.cfg.N)
 	nw.count(m)
+	if f != nil && f.Cut(src, nw.cfg.N, now) {
+		f.Counts.PartitionDrops.Add(1)
+		nw.obsDrops.Inc()
+		return
+	}
+	d, dropped := nw.sampleDelay(src, nw.cfg.N)
 	if dropped {
 		nw.obsDrops.Inc()
 		return
 	}
-	time.AfterFunc(d.Std(), func() {
+	time.AfterFunc(nw.shape(d, now).Std(), func() {
 		select {
 		case <-nw.done:
 			return
@@ -263,6 +444,58 @@ func (nw *Network) broadcast(src int, m core.StrobeMsg) {
 		nw.obsChecker.Inc()
 		nw.checker.OnStrobe(m, nw.Now())
 	})
+}
+
+// scheduleDelivery arms the timer-delayed mailbox send for one copy. A
+// full mailbox is a counted drop, never a blocked goroutine: the old code
+// parked the timer goroutine on `peer.in <- m` until shutdown, so a
+// saturated node accumulated one goroutine per overflowing message.
+func (nw *Network) scheduleDelivery(peer *Node, m core.StrobeMsg, d sim.Duration, sentAt sim.Time) {
+	time.AfterFunc(nw.shape(d, sentAt).Std(), func() {
+		if peer.down.Load() {
+			if f := nw.fault; f != nil {
+				f.Counts.CrashDrops.Add(1)
+			}
+			nw.obsDrops.Inc()
+			return
+		}
+		select {
+		case peer.in <- m:
+			depth := int64(len(peer.in))
+			for {
+				cur := nw.mailboxHW.Load()
+				if depth <= cur || nw.mailboxHW.CompareAndSwap(cur, depth) {
+					break
+				}
+			}
+		case <-nw.done:
+		default:
+			nw.mailboxDrops.Add(1)
+			nw.obsMailboxDrops.Inc()
+		}
+	})
+}
+
+// shape adds active reorder-window jitter to a sampled delay.
+func (nw *Network) shape(d sim.Duration, at sim.Time) sim.Duration {
+	f := nw.fault
+	if f == nil {
+		return d
+	}
+	if j := f.ReorderJitter(at); j > 0 {
+		nw.delayMu.Lock()
+		d += sim.Duration(nw.rng.Int63n(int64(j) + 1))
+		nw.delayMu.Unlock()
+		f.Counts.Reorders.Add(1)
+	}
+	return d
+}
+
+// chance draws one biased coin under the RNG lock.
+func (nw *Network) chance(p float64) bool {
+	nw.delayMu.Lock()
+	defer nw.delayMu.Unlock()
+	return nw.rng.Bool(p)
 }
 
 func (nw *Network) sampleDelay(src, dst int) (sim.Duration, bool) {
@@ -298,6 +531,12 @@ func (nw *Network) Stop(settle time.Duration, tol sim.Duration) Results {
 	sp := nw.cfg.Obs.StartSpanAt("live.stop", nw.Now())
 	time.Sleep(settle)
 	horizon := nw.Now()
+	nw.lifeMu.Lock()
+	nw.stopping = true // no fault transition may restart a node from here
+	for _, t := range nw.timers {
+		t.Stop()
+	}
+	nw.lifeMu.Unlock()
 	nw.stopOnce.Do(func() { close(nw.done) })
 	nw.wg.Wait()
 	sp.EndAt(nw.Now())

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"pervasive/internal/faults"
 	"pervasive/internal/obs"
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
@@ -56,6 +57,18 @@ type Net struct {
 	HeaderBytes int
 
 	seen []map[uint64]bool // per-process flood duplicate suppression
+	// inflight refcounts the scheduled (not yet fired) deliveries of each
+	// flood message ID. When a count reaches zero no further copy of that
+	// ID can ever be created (relays only originate from deliveries of
+	// the same ID), so its seen entries are pruned — the horizon that
+	// keeps the dedup state bounded by the concurrently in-flight
+	// broadcasts instead of growing with the run's total broadcast count.
+	inflight map[uint64]int
+
+	// fault, when non-nil, gates this transport on a fault plan: crashed
+	// processes neither send, relay, nor take deliveries; partitioned
+	// pairs drop; dup/reorder windows shape delays. Nil costs one branch.
+	fault *faults.Injector
 
 	Stats Stats
 
@@ -71,8 +84,10 @@ type Net struct {
 // and bytes as counters, and the sampled link delay (µs) as a
 // histogram. The hot path stays atomic-free — a registered collector
 // mirrors the Stats block and the local delay histogram into the
-// registry at snapshot time. SetObs(nil) stops delay sampling; values
-// already mirrored into a previous registry remain there.
+// registry at snapshot time. When a fault injector is installed its
+// counts are mirrored too (faults.* counters). SetObs(nil) stops delay
+// sampling; values already mirrored into a previous registry remain
+// there.
 func (nt *Net) SetObs(r *obs.Registry) {
 	if r == nil {
 		nt.obsDelay = nil
@@ -87,14 +102,28 @@ func (nt *Net) SetObs(r *obs.Registry) {
 		delay     = r.Histogram("net.delay_us", obs.DurationBuckets)
 		local     = nt.obsDelay
 	)
-	r.RegisterCollector(func(*obs.Registry) {
+	r.RegisterCollector(func(r *obs.Registry) {
 		sent.Store(nt.Stats.Sent)
 		delivered.Store(nt.Stats.Delivered)
 		dropped.Store(nt.Stats.Dropped)
 		bytes.Store(nt.Stats.Bytes)
 		delay.CopyFrom(local)
+		if f := nt.fault; f != nil {
+			r.Counter("faults.suppressed_sends").Store(f.Counts.SuppressedSends.Load())
+			r.Counter("faults.crash_drops").Store(f.Counts.CrashDrops.Load())
+			r.Counter("faults.partition_drops").Store(f.Counts.PartitionDrops.Load())
+			r.Counter("faults.duplicates").Store(f.Counts.Duplicates.Load())
+			r.Counter("faults.reorders").Store(f.Counts.Reorders.Load())
+		}
 	})
 }
+
+// SetFaults installs (or, with nil, removes) the fault injector gating
+// this transport. See package faults for the semantics.
+func (nt *Net) SetFaults(in *faults.Injector) { nt.fault = in }
+
+// Faults returns the installed fault injector (nil when none).
+func (nt *Net) Faults() *faults.Injector { return nt.fault }
 
 // New creates a transport over the topology with the given delay model.
 func New(eng *sim.Engine, topo Topology, delay sim.DelayModel) *Net {
@@ -104,6 +133,7 @@ func New(eng *sim.Engine, topo Topology, delay sim.DelayModel) *Net {
 		rng:         eng.RNG().Fork(),
 		handlers:    make([]Handler, n),
 		seen:        make([]map[uint64]bool, n),
+		inflight:    make(map[uint64]int),
 		HeaderBytes: 8,
 	}
 	nt.Stats.ByKind = make(map[string]int64)
@@ -129,8 +159,13 @@ func (nt *Net) SetDelay(d sim.DelayModel) { nt.delay = d }
 
 // Send transmits p from src to dst as one logical (direct) message,
 // regardless of overlay links; use for checker traffic where L is assumed
-// routable. It returns the message ID.
+// routable. It returns the message ID, or 0 when a fault plan has src
+// crashed (a crashed process sends nothing).
 func (nt *Net) Send(src, dst int, p Payload) uint64 {
+	if f := nt.fault; f != nil && f.Down(src, nt.eng.Now()) {
+		f.Counts.SuppressedSends.Add(1)
+		return 0
+	}
 	id := nt.newID()
 	nt.transmit(Message{ID: id, Src: src, From: src, Dst: dst, SentAt: nt.eng.Now(), Payload: p})
 	return id
@@ -140,13 +175,19 @@ func (nt *Net) Send(src, dst int, p Payload) uint64 {
 // delivered to every process except src. With Flood unset each peer gets
 // an independent direct transmission; with Flood set the message floods
 // hop-by-hop over the overlay with duplicate suppression. It returns the
-// message ID.
+// message ID, or 0 when a fault plan has src crashed.
 func (nt *Net) Broadcast(src int, p Payload) uint64 {
-	id := nt.newID()
 	now := nt.eng.Now()
+	if f := nt.fault; f != nil && f.Down(src, now) {
+		f.Counts.SuppressedSends.Add(1)
+		return 0
+	}
+	id := nt.newID()
 	if nt.Flood {
 		nt.seen[src][id] = true
+		nt.inflight[id]++ // guard the entry while the first wave schedules
 		nt.relay(Message{ID: id, Src: src, From: src, SentAt: now, Payload: p})
+		nt.flightDone(id)
 		return id
 	}
 	for dst := 0; dst < nt.N(); dst++ {
@@ -174,19 +215,59 @@ func (nt *Net) countDrop() {
 	nt.Stats.Dropped++
 }
 
+// shapeDelay adds active reorder-window jitter to a sampled delay.
+func (nt *Net) shapeDelay(d sim.Duration, at sim.Time) sim.Duration {
+	f := nt.fault
+	if f == nil {
+		return d
+	}
+	if j := f.ReorderJitter(at); j > 0 {
+		d += sim.Duration(nt.rng.Int63n(int64(j) + 1))
+		f.Counts.Reorders.Add(1)
+	}
+	return d
+}
+
 // transmit schedules one link-level transmission.
 func (nt *Net) transmit(m Message) {
 	nt.countSend(m.Payload)
-	d, dropped := sim.SampleDelay(nt.delay, nt.rng, nt.eng.Now(), m.From, m.Dst)
+	now := nt.eng.Now()
+	if f := nt.fault; f != nil && f.Cut(m.From, m.Dst, now) {
+		nt.countDrop()
+		f.Counts.PartitionDrops.Add(1)
+		return
+	}
+	d, dropped := sim.SampleDelay(nt.delay, nt.rng, now, m.From, m.Dst)
 	if dropped {
 		nt.countDrop()
 		return
 	}
+	d = nt.shapeDelay(d, now)
 	nt.obsDelay.Observe(float64(d))
 	nt.eng.After(d, func(now sim.Time) { nt.deliver(m, now) })
+	if f := nt.fault; f != nil {
+		// Duplicate window: re-deliver with an independently sampled
+		// delay. The checker's Seq discipline must absorb the copy.
+		if p := f.DupProb(now); p > 0 && nt.rng.Bool(p) {
+			if d2, dropped2 := sim.SampleDelay(nt.delay, nt.rng, now, m.From, m.Dst); !dropped2 {
+				f.Counts.Duplicates.Add(1)
+				nt.eng.After(nt.shapeDelay(d2, now), func(now sim.Time) { nt.deliver(m, now) })
+			}
+		}
+	}
 }
 
 func (nt *Net) deliver(m Message, now sim.Time) {
+	if f := nt.fault; f != nil && f.Down(m.Dst, now) {
+		nt.countDrop() // crashed processes take no deliveries
+		f.Counts.CrashDrops.Add(1)
+		return
+	}
+	nt.handle(m, now)
+}
+
+// handle invokes the destination's handler (fault gating already done).
+func (nt *Net) handle(m Message, now sim.Time) {
 	nt.Stats.Delivered++
 	if h := nt.handlers[m.Dst]; h != nil {
 		h(m, now)
@@ -194,8 +275,13 @@ func (nt *Net) deliver(m Message, now sim.Time) {
 }
 
 // relay floods m from m.From to all current neighbours that have not seen
-// the message. Receivers both consume and re-relay.
+// the message. Receivers both consume and re-relay. Dedup is done at
+// delivery time, not at scheduling time: a copy lost in flight leaves
+// later copies via other paths eligible, which is what lets redundant
+// flood paths mask single-link loss.
 func (nt *Net) relay(m Message) {
+	now := nt.eng.Now()
+	f := nt.fault
 	for _, j := range nt.topo.Neighbors(m.From) {
 		if nt.seen[j][m.ID] {
 			continue
@@ -204,21 +290,59 @@ func (nt *Net) relay(m Message) {
 		hop.Dst = j
 		hop.Hops = m.Hops + 1
 		nt.countSend(hop.Payload)
-		d, dropped := sim.SampleDelay(nt.delay, nt.rng, nt.eng.Now(), hop.From, hop.Dst)
+		if f != nil && f.Cut(hop.From, hop.Dst, now) {
+			nt.countDrop()
+			f.Counts.PartitionDrops.Add(1)
+			continue
+		}
+		d, dropped := sim.SampleDelay(nt.delay, nt.rng, now, hop.From, hop.Dst)
 		if dropped {
 			nt.countDrop()
 			continue
 		}
+		d = nt.shapeDelay(d, now)
 		nt.obsDelay.Observe(float64(d))
+		nt.inflight[hop.ID]++
 		nt.eng.After(d, func(now sim.Time) {
+			defer nt.flightDone(hop.ID)
 			if nt.seen[hop.Dst][hop.ID] {
 				return // duplicate arrived first via another path
 			}
+			if f := nt.fault; f != nil && f.Down(hop.Dst, now) {
+				nt.countDrop() // crashed receivers neither deliver nor relay
+				f.Counts.CrashDrops.Add(1)
+				return
+			}
 			nt.seen[hop.Dst][hop.ID] = true
-			nt.deliver(hop, now)
+			nt.handle(hop, now)
 			next := hop
 			next.From = hop.Dst
 			nt.relay(next)
 		})
 	}
+}
+
+// flightDone releases one scheduled copy of a flood message; the last
+// release prunes the ID from every per-process dedup set (see the
+// inflight field). Dropped copies are never scheduled, so they hold no
+// reference.
+func (nt *Net) flightDone(id uint64) {
+	if n := nt.inflight[id] - 1; n > 0 {
+		nt.inflight[id] = n
+		return
+	}
+	delete(nt.inflight, id)
+	for i := range nt.seen {
+		delete(nt.seen[i], id)
+	}
+}
+
+// dedupEntries reports the total number of live flood-dedup entries
+// across all processes (test hook for the bounded-memory guarantee).
+func (nt *Net) dedupEntries() int {
+	n := 0
+	for i := range nt.seen {
+		n += len(nt.seen[i])
+	}
+	return n
 }

@@ -148,6 +148,41 @@ func (m LossWindow) String() string {
 	return fmt.Sprintf("%v+losswindow[%v,%v)", m.Inner, m.From, m.To)
 }
 
+// LinkLoss drops messages crossing one undirected link (A,B) with
+// probability P, leaving every other link to the inner model. It isolates
+// the redundancy question: with flooding, do the remaining paths mask the
+// lossy link?
+type LinkLoss struct {
+	Inner DelayModel
+	A, B  int
+	P     float64
+}
+
+// Sample implements DelayModel.
+func (m LinkLoss) Sample(r *stats.RNG, src, dst int) (Duration, bool) {
+	if ((src == m.A && dst == m.B) || (src == m.B && dst == m.A)) && r.Bool(m.P) {
+		return 0, true
+	}
+	return m.Inner.Sample(r, src, dst)
+}
+
+// SampleAt implements TimedSampler by delegating to Sample; defined so
+// wrapping a timed inner model does not silently lose its send-time
+// behaviour.
+func (m LinkLoss) SampleAt(r *stats.RNG, at Time, src, dst int) (Duration, bool) {
+	if ((src == m.A && dst == m.B) || (src == m.B && dst == m.A)) && r.Bool(m.P) {
+		return 0, true
+	}
+	return SampleDelay(m.Inner, r, at, src, dst)
+}
+
+// Bound implements DelayModel.
+func (m LinkLoss) Bound() Duration { return m.Inner.Bound() }
+
+func (m LinkLoss) String() string {
+	return fmt.Sprintf("%v+linkloss(%d↔%d,%.1f%%)", m.Inner, m.A, m.B, 100*m.P)
+}
+
 // TimedSampler is implemented by delay models whose drop decision depends
 // on the send time.
 type TimedSampler interface {
