@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the gate for every change:
-# build, vet, and the full test suite under the race detector.
+# build, vet, lint (pervalint + gofmt), and the full test suite under
+# the race detector.
 
 GO ?= go
 
-.PHONY: check build vet test race-live bench-obs bench-kernel bench-lattice bench-faults bench
+.PHONY: check build vet lint test race-live bench-obs bench-kernel bench-lattice bench-faults bench
 
-check: build vet
+check: build vet lint
 	$(GO) test -race ./...
 	$(GO) test -race -run TestTablesByteIdenticalAcrossParallelism ./internal/experiments/ ./internal/runner/
 	$(GO) test -race -run 'TestSurveyMatchesOracle|TestSurveyParallelDeterministic' ./internal/lattice/
@@ -17,6 +18,14 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariants (determinism, clock rules, fast paths,
+# goroutine hygiene, atomics — see DESIGN.md §1.8) plus a gofmt gate.
+# Suppressions use //lint:allow <analyzer>(<reason>); see cmd/pervalint.
+lint:
+	$(GO) run ./cmd/pervalint ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 test:
 	$(GO) test ./...

@@ -67,7 +67,7 @@ func independent(n, p int) *lattice.Execution {
 	for i := 0; i < n; i++ {
 		for k := 1; k <= p; k++ {
 			v := clock.NewVector(n)
-			v[i] = uint64(k)
+			v[i] = uint64(k) //lint:allow clockrule(synthetic benchmark stamps built offline, not live protocol state)
 			e.Stamps[i] = append(e.Stamps[i], v)
 		}
 	}

@@ -1,0 +1,155 @@
+// Command pervalint is the repo's custom static-analysis driver: it
+// loads and type-checks every package in the module with only the
+// standard library (go/parser + go/types; no x/tools) and runs the
+// project-specific analyzers that enforce the determinism, clock-rule,
+// fast-path, goroutine-hygiene and atomics invariants (DESIGN.md §1.8).
+//
+// Usage:
+//
+//	pervalint [flags] [packages]
+//
+// Packages are import-path patterns: "./..." (or no arguments) analyzes
+// the whole module; anything else selects packages whose import path
+// contains the pattern (a "./internal/sim"-style relative path works).
+//
+// Flags:
+//
+//	-json            emit diagnostics as JSON (schema below)
+//	-analyzers list  comma-separated analyzer subset (default: all)
+//	-list            print the analyzers and exit
+//	-C dir           run as if launched from dir (module root discovery)
+//
+// Suppressions use the //lint:allow grammar checked by the driver
+// itself: `//lint:allow <analyzer>(<reason>)` on the offending line or
+// the line above; the reason is mandatory, and allows that no longer
+// suppress anything are reported as unused.
+//
+// JSON output is one object:
+//
+//	{"diagnostics": [{"file": "...", "line": N, "col": N,
+//	                  "analyzer": "...", "message": "..."}, ...],
+//	 "count": N}
+//
+// Exit status: 0 clean, 1 diagnostics found, 2 load/usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pervasive/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type jsonReport struct {
+	Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+	Count       int                   `json:"count"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pervalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	chdir := fs.String("C", ".", "directory to resolve the module from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, module, err := analysis.FindModuleRoot(*chdir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	loader := analysis.NewLoader(root, module)
+	all, err := loader.Discover()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	paths := filterPackages(all, module, fs.Args())
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "pervalint: no packages match", fs.Args())
+		return 2
+	}
+
+	diags, err := analysis.RunPackages(loader, analysis.DefaultConfig(), analyzers, paths)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // "diagnostics" is documented as an array, never null
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(jsonReport{Diagnostics: diags, Count: len(diags)}); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "pervalint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// filterPackages selects from the discovered import paths. No patterns
+// or "./..." means everything; otherwise a package is kept when its
+// import path contains any pattern (leading "./" stripped, so relative
+// directory paths work as patterns).
+func filterPackages(all []string, module string, patterns []string) []string {
+	keepAll := len(patterns) == 0
+	for _, p := range patterns {
+		if p == "./..." || p == "..." || p == module {
+			keepAll = true
+		}
+	}
+	if keepAll {
+		return all
+	}
+	var out []string
+	for _, path := range all {
+		for _, p := range patterns {
+			p = strings.TrimPrefix(strings.TrimSuffix(p, "/..."), "./")
+			if p == "" || strings.Contains(path, p) {
+				out = append(out, path)
+				break
+			}
+		}
+	}
+	return out
+}

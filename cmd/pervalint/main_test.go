@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestListAnalyzers smoke-tests the -list flag: all five analyzers
+// must be advertised.
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"determinism", "clockrule", "fastpath", "goroutine", "atomics"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestJSONClean runs the real driver over the module in JSON mode: the
+// repo is lint-clean, so the report must decode to zero diagnostics
+// and the exit status must be 0. This is the -json contract test: the
+// schema is {"diagnostics": [...], "count": N}.
+func TestJSONClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-C", "../..", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run(-json ./...) = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not the documented JSON schema: %v\n%s", err, out.String())
+	}
+	if rep.Count != 0 || len(rep.Diagnostics) != 0 {
+		t.Errorf("repo not lint-clean: count=%d diagnostics=%v", rep.Count, rep.Diagnostics)
+	}
+}
+
+// TestAnalyzerSubset runs a subset of the analyzers over the module:
+// allows for disabled-but-known analyzers (the clockrule annotations)
+// must be neither "unknown analyzer" errors nor "unused" findings.
+func TestAnalyzerSubset(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-analyzers", "determinism,atomics", "-C", "../..", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run(-analyzers determinism,atomics) = %d\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+}
+
+// TestUnknownAnalyzer checks the usage-error path.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-analyzers nosuch) = %d, want 2", code)
+	}
+}
+
+func TestFilterPackages(t *testing.T) {
+	all := []string{"pervasive/internal/sim", "pervasive/internal/clock", "pervasive/cmd/pervalint"}
+	cases := []struct {
+		patterns []string
+		want     int
+	}{
+		{nil, 3},
+		{[]string{"./..."}, 3},
+		{[]string{"./internal/sim"}, 1},
+		{[]string{"internal/..."}, 2},
+		{[]string{"clock", "sim"}, 2},
+		{[]string{"nomatch"}, 0},
+	}
+	for _, tc := range cases {
+		got := filterPackages(all, "pervasive", tc.patterns)
+		if len(got) != tc.want {
+			t.Errorf("filterPackages(%v) = %v, want %d packages", tc.patterns, got, tc.want)
+		}
+	}
+}

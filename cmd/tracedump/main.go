@@ -148,7 +148,7 @@ func trimTo(ex *lattice.Execution, budget int) *lattice.Execution {
 			c := v.Clone()
 			for j := range c {
 				if j < len(ex.Stamps) && c[j] > uint64(per) {
-					c[j] = uint64(per)
+					c[j] = uint64(per) //lint:allow clockrule(offline truncation of a cloned stamp for the lattice report, not live protocol state)
 				}
 			}
 			out.Stamps[i] = append(out.Stamps[i], c)

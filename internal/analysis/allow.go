@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The allow grammar is one comment per suppression:
+//
+//	//lint:allow <analyzer>(<reason>)
+//
+// placed either as a trailing comment on the offending line or as a
+// full-line comment immediately above it. The reason is mandatory — an
+// allow without one is itself a diagnostic — and an allow that no longer
+// suppresses anything is reported as unused, so stale annotations cannot
+// accumulate. Deleting a load-bearing allow therefore fails `make lint`
+// twice over: the original finding resurfaces.
+
+const allowPrefix = "//lint:allow "
+
+type allowEntry struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+type allowIndex struct {
+	// byLine maps file -> line -> entries covering that line.
+	byLine map[string]map[int][]*allowEntry
+	all    []*allowEntry
+}
+
+// parseAllows scans every comment of the package for allow annotations.
+// Malformed annotations and annotations naming an analyzer outside the
+// full inventory are reported immediately (analyzer "allow"). An allow
+// for a known analyzer that is not in the enabled subset is parsed but
+// not indexed: it cannot suppress anything this run, and it must not be
+// reported as unused just because its analyzer was switched off.
+func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (*allowIndex, []Diagnostic) {
+	idx := &allowIndex{byLine: make(map[string]map[int][]*allowEntry)}
+	var diags []Diagnostic
+	report := func(pos token.Position, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos: pos, File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Analyzer: "allow", Message: msg,
+		})
+	}
+	known := func(name string) bool {
+		for _, a := range All() {
+			if a.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	enabled := func(name string) bool {
+		for _, a := range analyzers {
+			if a.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, strings.TrimSuffix(allowPrefix, " ")) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					report(pos, "malformed //lint:allow (want //lint:allow analyzer(reason))")
+					continue
+				}
+				open := strings.IndexByte(rest, '(')
+				if open <= 0 || !strings.HasSuffix(rest, ")") {
+					report(pos, "malformed //lint:allow (want //lint:allow analyzer(reason))")
+					continue
+				}
+				name := strings.TrimSpace(rest[:open])
+				reason := strings.TrimSpace(rest[open+1 : len(rest)-1])
+				if reason == "" {
+					report(pos, "//lint:allow "+name+" needs a non-empty reason")
+					continue
+				}
+				if !known(name) {
+					report(pos, "//lint:allow names unknown analyzer "+name)
+					continue
+				}
+				if !enabled(name) {
+					continue
+				}
+				e := &allowEntry{pos: pos, analyzer: name, reason: reason}
+				idx.all = append(idx.all, e)
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*allowEntry)
+					idx.byLine[pos.Filename] = lines
+				}
+				// A trailing comment covers its own line; a full-line
+				// comment covers the next. Covering both is harmless and
+				// keeps the grammar position-insensitive.
+				lines[pos.Line] = append(lines[pos.Line], e)
+				lines[pos.Line+1] = append(lines[pos.Line+1], e)
+			}
+		}
+	}
+	return idx, diags
+}
+
+// suppress reports whether an allow covers d, marking it used.
+func (idx *allowIndex) suppress(d Diagnostic) bool {
+	hit := false
+	for _, e := range idx.byLine[d.File][d.Line] {
+		if e.analyzer == d.Analyzer {
+			e.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// unused returns diagnostics for allows that suppressed nothing.
+func (idx *allowIndex) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range idx.all {
+		if !e.used {
+			out = append(out, Diagnostic{
+				Pos: e.pos, File: e.pos.Filename, Line: e.pos.Line, Col: e.pos.Column,
+				Analyzer: "allow",
+				Message:  "unused //lint:allow " + e.analyzer + " annotation (no diagnostic suppressed; delete it)",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Config scopes the analyzers to the packages whose invariants they
+// enforce. The zero value checks nothing; DefaultConfig returns the
+// repo's real scoping. Fixture tests substitute their own paths.
+type Config struct {
+	// DeterministicPkgs are the packages whose runs must be bit-for-bit
+	// reproducible: wall-clock reads, global rand and map-ordered
+	// iteration are flagged there.
+	DeterministicPkgs []string
+	// ClockPkg is the clock package whose SVC/SSC/VC/SC state the
+	// clockrule analyzer guards.
+	ClockPkg string
+	// ClockRuleFuncs are the clock methods allowed to mutate clock
+	// state (the paper's rule applications), besides New* constructors.
+	ClockRuleFuncs []string
+	// ObsPkg and FaultsPkg hold the nil-receiver no-op instrument types.
+	ObsPkg    string
+	FaultsPkg string
+	// NoopTypes lists, per package import path, the types whose methods
+	// must follow the nil-receiver fast-path discipline.
+	NoopTypes map[string][]string
+	// HotPkgs are the engine packages where string-keyed registry
+	// lookups (Registry.Counter/Gauge/Histogram) inside loops are
+	// flagged: instruments must be resolved once and held.
+	HotPkgs []string
+}
+
+// DefaultConfig is pervalint's scoping for this repository.
+func DefaultConfig() Config {
+	const m = "pervasive"
+	return Config{
+		DeterministicPkgs: []string{
+			m + "/internal/sim",
+			m + "/internal/runner",
+			m + "/internal/lattice",
+			m + "/internal/core",
+			m + "/internal/experiments",
+			m + "/internal/clock",
+			m + "/internal/live",
+		},
+		ClockPkg:       m + "/internal/clock",
+		ClockRuleFuncs: []string{"Strobe", "OnStrobe", "Tick", "Send", "Receive", "MergeFrom", "MergeSparse", "Reset"},
+		ObsPkg:         m + "/internal/obs",
+		FaultsPkg:      m + "/internal/faults",
+		NoopTypes: map[string][]string{
+			m + "/internal/obs":    {"Counter", "Gauge", "Histogram", "LocalHist", "Registry", "Span"},
+			m + "/internal/faults": {"Injector"},
+		},
+		HotPkgs: []string{
+			m + "/internal/sim",
+			m + "/internal/runner",
+			m + "/internal/lattice",
+			m + "/internal/core",
+			m + "/internal/experiments",
+			m + "/internal/live",
+			m + "/internal/network",
+		},
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ImportPath string
+	Config     Config
+
+	// Dep loads a module-local dependency package (memoized by the
+	// loader), letting analyzers resolve the canonical obs/clock types.
+	Dep func(path string) (*types.Package, error)
+
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, ClockRule, FastPath, Goroutine, Atomics}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// RunPackages loads each import path with the loader, runs the given
+// analyzers over it, applies //lint:allow suppression, and reports
+// unused or malformed allow annotations. Diagnostics come back sorted
+// by file, line, column.
+func RunPackages(l *Loader, cfg Config, analyzers []*Analyzer, paths []string) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		diags, err := runPackage(l, cfg, analyzers, pkg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}
+
+func runPackage(l *Loader, cfg Config, analyzers []*Analyzer, pkg *Package) ([]Diagnostic, error) {
+	allows, allowDiags := parseAllows(l.Fset, pkg.Files, analyzers)
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:       l.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			ImportPath: pkg.ImportPath,
+			Config:     cfg,
+			Dep: func(path string) (*types.Package, error) {
+				p, err := l.Load(path)
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			},
+			analyzer: a.Name,
+			diags:    &raw,
+		}
+		a.Run(pass)
+	}
+	kept := allowDiags
+	for _, d := range raw {
+		if allows.suppress(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	kept = append(kept, allows.unused()...)
+	return kept, nil
+}

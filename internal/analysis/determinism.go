@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the repo's reproducibility contract: every run of
+// the deterministic packages must be bit-for-bit identical at any -p
+// (the property the byte-identical-tables regression test checks, and
+// the property the paper's strobe-vs-physical-clock comparison rests
+// on). Three mechanically detectable ways to break it are flagged:
+//
+//   - time.Now: wall-clock reads leak real time into virtual-time code.
+//     The three legitimate uses (span epochs, the live engine's start
+//     anchor) carry //lint:allow determinism(...) annotations.
+//   - global math/rand: the un-seeded process-wide source is shared,
+//     lock-ordered and unseedable per run; all randomness must flow
+//     through stats.RNG streams owned by the run.
+//   - range over a map: iteration order is randomized per run. A loop
+//     that only collects keys which are later passed to a sort call in
+//     the same function is exempt — that is the repo's sanctioned
+//     collect-then-sort idiom.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock reads, global math/rand and map-ordered iteration in the deterministic packages",
+	Run:  runDeterminism,
+}
+
+// seededRandCtors are the math/rand package functions that construct an
+// explicitly seeded generator rather than touching the global source.
+var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+func runDeterminism(p *Pass) {
+	if !contains(p.Config.DeterministicPkgs, p.ImportPath) {
+		return
+	}
+	for _, f := range p.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Info, n)
+				if fn == nil {
+					return true
+				}
+				if isPkgFunc(fn, "time", "Now") {
+					p.Reportf(n.Pos(), "time.Now in deterministic package %s: use the engine's virtual clock, or annotate a wall-clock-only use with //lint:allow determinism(reason)", p.Pkg.Name())
+				}
+				if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !seededRandCtors[fn.Name()] {
+						p.Reportf(n.Pos(), "global math/rand.%s in deterministic package %s: draw from a per-run stats.RNG stream instead", fn.Name(), p.Pkg.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				t := p.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if collectThenSorted(p, n, stack) {
+					return true
+				}
+				p.Reportf(n.Pos(), "range over map has nondeterministic iteration order: collect and sort the keys (or justify with //lint:allow determinism(reason))")
+			}
+			return true
+		})
+	}
+}
+
+// collectThenSorted reports whether the map range is the sanctioned
+// collect-then-sort idiom: every statement in the body appends into the
+// same collector, and the enclosing function later passes that
+// collector to a sort call.
+func collectThenSorted(p *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	var target types.Object
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p, call) {
+			return false
+		}
+		obj := lvalueObject(p, as.Lhs[0])
+		if obj == nil {
+			return false
+		}
+		if target == nil {
+			target = obj
+		} else if target != obj {
+			return false
+		}
+	}
+	if target == nil {
+		return false
+	}
+	// Find the enclosing function body and look for a later sort call
+	// over the collector.
+	var fnBody *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			fnBody = fn.Body
+		case *ast.FuncLit:
+			fnBody = fn.Body
+		}
+		if fnBody != nil {
+			break
+		}
+	}
+	if fnBody == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rs.End() {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if pp := fn.Pkg().Path(); pp != "sort" && pp != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && p.Info.Uses[id] == target {
+					found = true
+				}
+				if sel, ok := a.(*ast.SelectorExpr); ok {
+					if s := p.Info.Selections[sel]; s != nil && s.Obj() == target {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && bi.Name() == "append"
+}
+
+// lvalueObject resolves the assigned-to expression to its canonical
+// object: the variable for an identifier, the field for a selector.
+func lvalueObject(p *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := p.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return p.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if s := p.Info.Selections[e]; s != nil {
+			return s.Obj()
+		}
+	}
+	return nil
+}

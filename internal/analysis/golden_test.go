@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden harness runs the full driver (analyzers + allow
+// suppression) over the fixture module under testdata/src and
+// diff-checks the diagnostics against "// want" expectation comments
+// (a backquoted regexp per comment): every diagnostic must match a
+// want on its line, and every want must be matched by a diagnostic.
+// The "want+1" form anchors the expectation to the following line,
+// for findings that land on full-line comments (the allow grammar's
+// own diagnostics).
+
+// fixtureConfig scopes the analyzers to the fixture module the same
+// way DefaultConfig scopes them to the repo.
+func fixtureConfig() Config {
+	return Config{
+		DeterministicPkgs: []string{"fix/determ"},
+		ClockPkg:          "fix/clockpkg",
+		ClockRuleFuncs:    []string{"Strobe", "OnStrobe", "Tick", "Reset"},
+		ObsPkg:            "fix/fastobs",
+		NoopTypes:         map[string][]string{"fix/fastobs": {"Counter", "Registry"}},
+		HotPkgs:           []string{"fix/fastuser"},
+	}
+}
+
+func TestAnalyzersGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "fix")
+	cases := []struct {
+		name string
+		pkgs []string
+	}{
+		{"determinism", []string{"fix/determ"}},
+		{"clockrule", []string{"fix/clockpkg", "fix/clockuser"}},
+		{"fastpath", []string{"fix/fastobs", "fix/fastuser"}},
+		{"goroutine", []string{"fix/goro"}},
+		{"atomics", []string{"fix/atom"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags, err := RunPackages(loader, fixtureConfig(), All(), tc.pkgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pkg := range tc.pkgs {
+				dir := filepath.Join(root, strings.TrimPrefix(pkg, "fix/"))
+				checkGolden(t, dir, diags)
+			}
+		})
+	}
+}
+
+var wantRe = regexp.MustCompile("// want(\\+1)? `([^`]*)`")
+
+// checkGolden matches the diagnostics landing in dir against the want
+// comments of dir's fixture files.
+func checkGolden(t *testing.T, dir string, diags []Diagnostic) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*regexp.Regexp)
+	matched := make(map[*regexp.Regexp]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			target := i + 1 // line numbers are 1-based
+			if m[1] == "+1" {
+				target++
+			}
+			re, err := regexp.Compile(m[2])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern: %v", path, i+1, err)
+			}
+			wants[lineKey{path, target}] = append(wants[lineKey{path, target}], re)
+		}
+	}
+	for _, d := range diags {
+		if filepath.Dir(d.File) != dir {
+			continue
+		}
+		found := false
+		for _, re := range wants[lineKey{d.File, d.Line}] {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// TestRepoClean runs the full suite over the real module with the real
+// config: the tree must be clean, every //lint:allow annotation in it
+// load-bearing (unused allows are themselves diagnostics).
+func TestRepoClean(t *testing.T) {
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, module)
+	paths, err := loader.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackages(loader, DefaultConfig(), All(), paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
+	}
+}

@@ -1,0 +1,47 @@
+// Package atom seeds the mixed atomic/plain field-access shapes for
+// the atomics golden test.
+package atom
+
+import "sync/atomic"
+
+// Stats counts events; n is managed with sync/atomic, m is not.
+type Stats struct {
+	n int64
+	m int64
+}
+
+// Bump is the atomic write path; it makes n an atomic field.
+func (s *Stats) Bump() {
+	atomic.AddInt64(&s.n, 1)
+}
+
+// Read uses the matching load; not flagged.
+func (s *Stats) Read() int64 {
+	return atomic.LoadInt64(&s.n)
+}
+
+// Reset tears the atomicity with a plain write.
+func (s *Stats) Reset() {
+	s.n = 0 // want `plain write to field n, which is accessed via atomic.AddInt64`
+}
+
+// Peek races the writers with a plain read.
+func (s *Stats) Peek() int64 {
+	return s.n // want `plain read of field n, which is accessed via atomic.AddInt64`
+}
+
+// Incr increments the atomic field without the atomic op.
+func (s *Stats) Incr() {
+	s.n++ // want `plain .. of field n, which is accessed via atomic.AddInt64`
+}
+
+// Leak lets the field's address escape to arbitrary plain access.
+func Leak(s *Stats) *int64 {
+	return &s.n // want `address of field n .accessed via atomic.AddInt64 elsewhere. escapes`
+}
+
+// Local is never touched atomically; plain access to m is fine.
+func (s *Stats) Local() int64 {
+	s.m++
+	return s.m
+}

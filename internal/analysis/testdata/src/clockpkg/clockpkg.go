@@ -1,0 +1,58 @@
+// Package clockpkg is a miniature clock package for the clockrule
+// golden test: SVC carries rule-governed state (unexported fields), and
+// Vector is the named slice state type. Stamp is configuration-shaped
+// (exported fields only) and therefore not protected.
+package clockpkg
+
+// Vector is the stamp type; its components are clock state.
+type Vector []uint64
+
+// SVC is a strobe vector clock: unexported fields mark it as
+// rule-governed state.
+type SVC struct {
+	me int
+	v  Vector
+}
+
+// Stamp has only exported fields: configuration, not rule state.
+type Stamp struct {
+	Proc int
+	At   uint64
+}
+
+// New constructs an SVC; constructors may initialize state.
+func New(me, n int) *SVC {
+	return &SVC{me: me, v: make(Vector, n)}
+}
+
+// Strobe applies SVC1: rule methods may mutate state.
+func (c *SVC) Strobe() Vector {
+	c.v[c.me]++
+	out := make(Vector, len(c.v))
+	copy(out, c.v)
+	return out
+}
+
+// OnStrobe applies SVC2: componentwise max.
+func (c *SVC) OnStrobe(s Vector) {
+	for i, x := range s {
+		if i < len(c.v) && x > c.v[i] {
+			c.v[i] = x
+		}
+	}
+}
+
+// Poke is not a rule method; its writes are protocol violations.
+func (c *SVC) Poke() {
+	c.me = -1 // want `clock state field SVC.me written outside the rule methods`
+}
+
+// Smudge mutates a vector component outside any rule.
+func (c *SVC) Smudge() {
+	c.v[0] = 9 // want `clock vector component .Vector. written outside the rule methods`
+}
+
+// Config only touches exported-field structs; not flagged.
+func Config(s *Stamp) {
+	s.At = 7
+}

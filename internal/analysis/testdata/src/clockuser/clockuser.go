@@ -1,0 +1,24 @@
+// Package clockuser is an engine-side package for the clockrule golden
+// test: it must advance clocks only through the rule methods.
+package clockuser
+
+import "fix/clockpkg"
+
+// Good advances the clock by applying a rule.
+func Good(c *clockpkg.SVC) clockpkg.Vector {
+	return c.Strobe()
+}
+
+// Evil reaches into protocol state from outside the clock package.
+func Evil(v clockpkg.Vector) {
+	v[0] = 99 // want `clock vector component .Vector. written outside fix/clockpkg`
+}
+
+// Trim is a sanctioned offline manipulation, justified with an allow.
+func Trim(v clockpkg.Vector, p uint64) {
+	for i := range v {
+		if v[i] > p {
+			v[i] = p //lint:allow clockrule(fixture: offline stamp trimming, not live protocol state)
+		}
+	}
+}

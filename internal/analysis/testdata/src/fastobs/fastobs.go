@@ -1,0 +1,61 @@
+// Package fastobs is a miniature instrument package for the fastpath
+// golden test: Counter and Registry must follow the nil-receiver no-op
+// discipline.
+package fastobs
+
+// Counter is a nil-safe no-op instrument.
+type Counter struct {
+	n int64
+}
+
+// Inc starts with the guard: the nil Counter is the disabled fast path.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Value is likewise guarded.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Enabled uses the single-comparison return form of the guard.
+func (c *Counter) Enabled() bool {
+	return c != nil
+}
+
+// Add is missing the guard; a nil receiver panics here.
+func (c *Counter) Add(d int64) { // want `method Counter.Add must start with a nil-receiver guard`
+	c.n += d
+}
+
+// Registry hands out instruments by name.
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// Counter resolves (or creates) the named instrument, nil-guarded.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge mirrors Counter for the hot-lookup check's method set.
+func (r *Registry) Gauge(name string) *Counter {
+	return r.Counter(name) // pure delegation: nil-safe without its own guard
+}

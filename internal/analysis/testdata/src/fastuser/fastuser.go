@@ -1,0 +1,45 @@
+// Package fastuser is an engine-side package for the fastpath golden
+// test: no per-iteration registry lookups, no typed-nil interface
+// wrapping of the no-op instrument pointers.
+package fastuser
+
+import "fix/fastobs"
+
+// Ticker is a non-empty interface: storing a possibly-nil *Counter in
+// it yields an interface that compares non-nil.
+type Ticker interface {
+	Inc()
+}
+
+// HotLoop resolves the counter through the string-keyed registry on
+// every iteration.
+func HotLoop(r *fastobs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.Counter("ticks").Inc() // want `registry lookup Registry.Counter inside a loop`
+	}
+}
+
+// ColdLoop resolves once and holds the pointer; not flagged.
+func ColdLoop(r *fastobs.Registry, n int) {
+	c := r.Counter("ticks")
+	for i := 0; i < n; i++ {
+		c.Inc()
+	}
+}
+
+// WrapVar stores the pointer in a non-empty interface via a var decl.
+func WrapVar(c *fastobs.Counter) Ticker {
+	var t Ticker = c // want `possibly-nil .Counter stored in non-empty interface`
+	return t
+}
+
+// WrapReturn does the same through a return statement.
+func WrapReturn(c *fastobs.Counter) Ticker {
+	return c // want `possibly-nil .Counter stored in non-empty interface`
+}
+
+// UseDirect keeps the concrete pointer type end to end; not flagged.
+func UseDirect(c *fastobs.Counter) *fastobs.Counter {
+	c.Inc()
+	return c
+}

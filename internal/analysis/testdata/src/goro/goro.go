@@ -1,0 +1,58 @@
+// Package goro seeds the goroutine-hygiene shapes: bare channel sends
+// inside time.AfterFunc callbacks and go closures, with and without a
+// select escape hatch.
+package goro
+
+import "time"
+
+// Deliver schedules an unguarded send: one leaked goroutine per
+// stalled receiver.
+func Deliver(ch chan int, d time.Duration) {
+	time.AfterFunc(d, func() {
+		ch <- 1 // want `blocking channel send in time.AfterFunc callback`
+	})
+}
+
+// Spawn has the same shape in a go closure.
+func Spawn(ch chan int) {
+	go func() {
+		ch <- 2 // want `blocking channel send in go closure`
+	}()
+}
+
+// DeliverGuarded drops the message when the receiver stalls; not
+// flagged.
+func DeliverGuarded(ch chan int, d time.Duration) {
+	time.AfterFunc(d, func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	})
+}
+
+// SpawnSingleCase wraps the send in a select with no other case: still
+// a blocking send.
+func SpawnSingleCase(ch chan int) {
+	go func() {
+		select {
+		case ch <- 3: // want `blocking channel send in go closure`
+		}
+	}()
+}
+
+// SpawnDone exits on shutdown instead of parking forever; not flagged.
+func SpawnDone(ch chan int, done chan struct{}) {
+	go func() {
+		select {
+		case ch <- 4:
+		case <-done:
+		}
+	}()
+}
+
+// Synchronous sends outside async closures are not this analyzer's
+// business.
+func Synchronous(ch chan int) {
+	ch <- 5
+}

@@ -75,13 +75,20 @@ func (d *DiffStrobeVector) Strobe() SparseStamp {
 	return out
 }
 
+// MergeSparse applies SVC2 to a differential strobe: componentwise max
+// over the carried entries, no local tick. Out-of-range entries are
+// ignored. It is the sparse counterpart of MergeFrom, shared by the
+// differential clock and the checkers' per-sender reconstructions.
+func (v Vector) MergeSparse(s SparseStamp) {
+	for _, e := range s {
+		if e.Proc >= 0 && e.Proc < len(v) && e.Val > v[e.Proc] {
+			v[e.Proc] = e.Val
+		}
+	}
+}
+
 // OnStrobe applies SVC2 to a sparse stamp: componentwise max over the
 // carried entries, no local tick.
 func (d *DiffStrobeVector) OnStrobe(s SparseStamp) {
-	snap := d.inner.v
-	for _, e := range s {
-		if e.Proc >= 0 && e.Proc < len(snap) && e.Val > snap[e.Proc] {
-			snap[e.Proc] = e.Val
-		}
-	}
+	d.inner.v.MergeSparse(s)
 }

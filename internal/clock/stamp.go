@@ -107,6 +107,16 @@ func (v *Vector) MergeFrom(w Vector) Vector {
 	return *v
 }
 
+// Reset zeroes every component in place. It is the epoch-reset rule:
+// when a process rejoins with a fresh incarnation (a bumped epoch), the
+// checker's per-sender reconstruction must forget the dead incarnation's
+// history rather than merge across the crash.
+func (v Vector) Reset() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
 // Sum returns the total event count across components; it is a useful
 // scalar projection for reports.
 func (v Vector) Sum() uint64 {

@@ -173,10 +173,8 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 		c.lastSeq[m.Proc] = 0
 		c.stamps[m.Proc] = nil
 		c.lastChange[m.Proc] = change{}
-		if c.recon != nil && c.recon[m.Proc] != nil {
-			for i := range c.recon[m.Proc] {
-				c.recon[m.Proc][i] = 0
-			}
+		if c.recon != nil {
+			c.recon[m.Proc].Reset()
 		}
 	}
 	if m.Seq <= c.lastSeq[m.Proc] {
@@ -202,11 +200,7 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 			c.recon[m.Proc] = clock.NewVector(c.n)
 			c.stampBuf[m.Proc] = clock.NewVector(c.n)
 		}
-		for _, e := range m.Sparse {
-			if e.Proc >= 0 && e.Proc < c.n && e.Val > c.recon[m.Proc][e.Proc] {
-				c.recon[m.Proc][e.Proc] = e.Val
-			}
-		}
+		c.recon[m.Proc].MergeSparse(m.Sparse)
 		// Copy into the per-proc scratch stamp rather than cloning: only
 		// c.stamps[m.Proc] can alias the buffer, and it is replaced below.
 		copy(c.stampBuf[m.Proc], c.recon[m.Proc])

@@ -94,7 +94,7 @@ func trimExecution(stamps [][]clockVector, times [][]sim.Time, p int) bool {
 		for _, v := range stamps[i] {
 			for j := range v {
 				if j < len(stamps) && v[j] > uint64(p) {
-					v[j] = uint64(p)
+					v[j] = uint64(p) //lint:allow clockrule(offline trimming of recorded stamps to a prefix workload, not live protocol state)
 				}
 			}
 		}

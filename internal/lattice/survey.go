@@ -80,7 +80,7 @@ var obsReg atomic.Pointer[obs.Registry]
 func SetObs(r *obs.Registry) { obsReg.Store(r) }
 
 // epoch anchors the engine's wall-clock span timestamps.
-var epoch = time.Now()
+var epoch = time.Now() //lint:allow determinism(span-epoch anchor: wall-clock timings feed obs spans only, never survey results)
 
 func wallNow() sim.Time { return sim.Time(time.Since(epoch).Microseconds()) }
 

@@ -158,7 +158,7 @@ func Start(cfg Config) *Network {
 	nw := &Network{
 		cfg:   cfg,
 		rng:   stats.NewRNG(cfg.Seed),
-		start: time.Now(),
+		start: time.Now(), //lint:allow determinism(the live engine's virtual time is wall-clock µs since Start by design; the DES is the reproducible harness)
 		done:  make(chan struct{}),
 	}
 	nw.cfg.Obs.SetNow("wall", nw.Now)
