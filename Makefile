@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race-live bench-obs bench-kernel bench-lattice bench-faults bench
+.PHONY: check build vet lint test race-live bench-obs bench-obs-smoke bench-kernel bench-lattice bench-faults bench
 
-check: build vet lint
+check: build vet lint bench-obs-smoke
 	$(GO) test -race ./...
 	$(GO) test -race -run TestTablesByteIdenticalAcrossParallelism ./internal/experiments/ ./internal/runner/
 	$(GO) test -race -run 'TestSurveyMatchesOracle|TestSurveyParallelDeterministic' ./internal/lattice/
@@ -39,6 +39,12 @@ race-live:
 # recorded baseline; the bar is <5% DES-kernel slowdown).
 bench-obs:
 	$(GO) test -run xxx -bench DESKernel -benchtime 1s -count 5 .
+
+# One-iteration smoke of the same benchmarks: proves the instrumented
+# and flight-recorder kernels still run (and the recorder captures
+# events) without paying for a real measurement. Part of `make check`.
+bench-obs-smoke:
+	$(GO) test -run xxx -bench DESKernel -benchtime 1x .
 
 # Kernel fast-path numbers (index-heap event list, zero-alloc hot path,
 # parallel runner wall clock); rewrites the recorded BENCH_kernel.json.

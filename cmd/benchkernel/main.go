@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pervasive/internal/experiments"
+	"pervasive/internal/prof"
 	"pervasive/internal/sim"
 )
 
@@ -61,6 +62,9 @@ type report struct {
 	ParallelQuickMs   int64         `json:"parallel_quick_ms"`
 	ParallelSpeedup   float64       `json:"parallel_speedup"`
 	Notes             string        `json:"notes"`
+	// Profiles lists the per-phase CPU/alloc captures when -profdir is
+	// given (see internal/prof); omitted otherwise.
+	Profiles []prof.Delta `json:"profiles,omitempty"`
 }
 
 // benchScheduleStep mirrors BenchmarkKernelScheduleStep: a steady-state
@@ -118,14 +122,32 @@ func cpuModel() string {
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	workers := flag.Int("p", 4, "worker count for the parallel suite timing")
+	profDir := flag.String("profdir", "", "capture per-phase CPU/alloc profiles into this directory")
 	flag.Parse()
 
-	step := testing.Benchmark(benchScheduleStep)
-	cancel := testing.Benchmark(benchTimerCancel)
+	var pr *prof.Profiler // nil keeps every bracket below a no-op
+	if *profDir != "" {
+		var err error
+		if pr, err = prof.New(*profDir); err != nil {
+			fmt.Fprintln(os.Stderr, "benchkernel:", err)
+			os.Exit(1)
+		}
+	}
+	phase := func(name string, fn func()) {
+		if _, err := pr.Phase(name, fn); err != nil {
+			fmt.Fprintln(os.Stderr, "benchkernel:", err)
+			os.Exit(1)
+		}
+	}
 
-	seqMs := suiteMs(true, 1)
-	parMs := suiteMs(true, *workers)
-	fullMs := suiteMs(false, 1)
+	var step, cancel testing.BenchmarkResult
+	phase("schedule-step", func() { step = testing.Benchmark(benchScheduleStep) })
+	phase("timer-cancel", func() { cancel = testing.Benchmark(benchTimerCancel) })
+
+	var seqMs, parMs, fullMs int64
+	phase("quick-suite-seq", func() { seqMs = suiteMs(true, 1) })
+	phase("quick-suite-par", func() { parMs = suiteMs(true, *workers) })
+	phase("full-suite", func() { fullMs = suiteMs(false, 1) })
 
 	after := kernelNumbers{
 		ScheduleStepNsOp:     float64(step.NsPerOp()),
@@ -164,6 +186,7 @@ func main() {
 			"single-CPU container the -p timing only measures scheduling overhead, while " +
 			"the kernel fast path itself cuts the sequential full-suite wall clock. Output " +
 			"tables are byte-identical at every -p (see TestTablesByteIdenticalAcrossParallelism).",
+		Profiles: pr.Deltas(),
 	}
 
 	data, err := json.MarshalIndent(r, "", "  ")

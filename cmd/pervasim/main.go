@@ -12,17 +12,24 @@
 //	pervasim -scenario hall -metrics m.json   # runtime metrics: JSON file
 //	                                          # + table on stderr
 //	pervasim -scenario hall -faults 'crash(1,20s);recover(1,40s)'
+//	pervasim -scenario hall -flight dumps/    # flight-recorder dumps (JSONL)
+//	pervasim -scenario hall -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"pervasive/internal/core"
 	"pervasive/internal/faults"
+	"pervasive/internal/flight"
 	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/scenario"
@@ -47,8 +54,20 @@ func main() {
 		tracePath   = flag.String("trace", "", "hall: write JSON event trace to this file (.jsonl for streaming form)")
 		metricsPath = flag.String("metrics", "", "write a runtime-metrics JSON snapshot to this file and a table to stderr")
 		faultsSpec  = flag.String("faults", "", "fault plan, e.g. 'crash(1,20s);recover(1,40s);partition(0.1|2,10s,30s)'")
+		flightDir   = flag.String("flight", "", "attach the flight recorder; write trigger-scoped dumps (JSONL) into this directory")
+		flightK     = flag.Int("flight-k", flight.DefaultPerProc, "flight recorder capacity: last K events kept per process")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("-pprof: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
 
 	kind, err := parseKind(*kindName)
 	if err != nil {
@@ -64,8 +83,15 @@ func main() {
 			fatal(fmt.Errorf("-faults: %w", err))
 		}
 	}
-	// installFaults arms the plan on the wired scenario before it runs.
+	perProc := 0 // 0 keeps the flight recorder detached
+	if *flightDir != "" {
+		perProc = *flightK
+	}
+	// installFaults arms the plan on the wired scenario before it runs,
+	// and keeps the harness in reach for the flight-dump export below.
+	var harness *core.Harness
 	installFaults := func(h *core.Harness) {
+		harness = h
 		if plan != nil {
 			h.InstallFaults(plan)
 		}
@@ -88,7 +114,7 @@ func main() {
 		cfg := scenario.HallConfig{
 			Seed: *seed, Doors: *doors, Capacity: *capacity,
 			InitialOccupancy: *initial, Kind: kind, Delay: delay,
-			Epsilon: dur(*epsilon), Horizon: hz, Obs: reg,
+			Epsilon: dur(*epsilon), Horizon: hz, Obs: reg, FlightPerProc: perProc,
 		}
 		if *tracePath != "" {
 			tr = trace.New(*doors)
@@ -101,7 +127,7 @@ func main() {
 	case "office":
 		of := scenario.NewOffice(scenario.OfficeConfig{
 			Seed: *seed, Rooms: 1, Modality: mod, Delay: delay,
-			Horizon: hz, Actuate: true, Obs: reg,
+			Horizon: hz, Actuate: true, Obs: reg, FlightPerProc: perProc,
 		})
 		installFaults(of.Harness)
 		res = of.Run()
@@ -109,21 +135,21 @@ func main() {
 	case "hospital":
 		hp := scenario.NewHospital(scenario.HospitalConfig{
 			Seed: *seed, Alarm: *alarm, Kind: kind, Delay: delay, Horizon: hz,
-			Obs: reg,
+			Obs: reg, FlightPerProc: perProc,
 		})
 		installFaults(hp.Harness)
 		res = hp.Run()
 		extra = fmt.Sprintf("alarm: %s, raised: %d", *alarm, hp.Alarms)
 	case "habitat":
 		hb := scenario.NewHabitat(scenario.HabitatConfig{
-			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz, Obs: reg,
+			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz, Obs: reg, FlightPerProc: perProc,
 		})
 		installFaults(hb.Harness)
 		res = hb.Run()
 		extra = "predicate: herd congregation (≥2 waterholes occupied)"
 	case "proximity":
 		px := scenario.NewProximity(scenario.ProximityConfig{
-			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz, Obs: reg,
+			Seed: *seed, Kind: kind, Delay: delay, Horizon: hz, Obs: reg, FlightPerProc: perProc,
 		})
 		installFaults(px.Harness)
 		res = px.Run()
@@ -188,6 +214,45 @@ func main() {
 		}
 		fmt.Printf("trace: %d records written to %s\n", tr.Len(), *tracePath)
 	}
+
+	if *flightDir != "" && harness != nil {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, d := range harness.Dumps {
+			name := fmt.Sprintf("%03d-%s.dump.jsonl", i, sanitizeTrigger(d.Trigger))
+			f, err := os.Create(filepath.Join(*flightDir, name))
+			if err != nil {
+				fatal(err)
+			}
+			if err := d.EncodeJSONL(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("flight: %d dumps written to %s\n", len(harness.Dumps), *flightDir)
+	}
+}
+
+// sanitizeTrigger maps a dump trigger like "fault:crash(p1)" to a
+// filename-safe slug like "fault-crash-p1".
+func sanitizeTrigger(s string) string {
+	var sb strings.Builder
+	lastDash := false
+	for _, r := range s {
+		ok := r == '.' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		switch {
+		case ok:
+			sb.WriteRune(r)
+			lastDash = false
+		case !lastDash && sb.Len() > 0:
+			sb.WriteByte('-')
+			lastDash = true
+		}
+	}
+	return strings.TrimSuffix(sb.String(), "-")
 }
 
 func parseKind(s string) (core.ClockKind, error) {

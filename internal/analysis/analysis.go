@@ -55,6 +55,7 @@ func DefaultConfig() Config {
 		NoopTypes: map[string][]string{
 			m + "/internal/obs":    {"Counter", "Gauge", "Histogram", "LocalHist", "Registry", "Span"},
 			m + "/internal/faults": {"Injector"},
+			m + "/internal/flight": {"Recorder"},
 		},
 		HotPkgs: []string{
 			m + "/internal/sim",

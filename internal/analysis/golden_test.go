@@ -25,8 +25,11 @@ func fixtureConfig() Config {
 		ClockPkg:          "fix/clockpkg",
 		ClockRuleFuncs:    []string{"Strobe", "OnStrobe", "Tick", "Reset"},
 		ObsPkg:            "fix/fastobs",
-		NoopTypes:         map[string][]string{"fix/fastobs": {"Counter", "Registry"}},
-		HotPkgs:           []string{"fix/fastuser"},
+		NoopTypes: map[string][]string{
+			"fix/fastobs":   {"Counter", "Registry"},
+			"fix/flightrec": {"Recorder"},
+		},
+		HotPkgs: []string{"fix/fastuser"},
 	}
 }
 
@@ -43,6 +46,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"determinism", []string{"fix/determ"}},
 		{"clockrule", []string{"fix/clockpkg", "fix/clockuser"}},
 		{"fastpath", []string{"fix/fastobs", "fix/fastuser"}},
+		{"fastpath-flight", []string{"fix/flightrec"}},
 		{"goroutine", []string{"fix/goro"}},
 		{"atomics", []string{"fix/atom"}},
 	}

@@ -1,0 +1,70 @@
+// Package flightrec is a miniature flight recorder for the fastpath
+// golden test: Recorder mirrors pervasive/internal/flight.Recorder, so
+// the nil-receiver no-op discipline is enforced on the real package's
+// shape — a hot Record method, string interning, and snapshots.
+package flightrec
+
+// Rec is a compact binary record (no pointers).
+type Rec struct {
+	Kind int32
+	Proc int32
+	At   int64
+}
+
+// Recorder keeps per-process rings; the nil Recorder is the detached
+// always-off mode and every method must no-op on it.
+type Recorder struct {
+	rings [][]Rec
+	names []string
+	ids   map[string]uint32
+}
+
+// Record starts with the guard: the nil Recorder costs one compare.
+func (r *Recorder) Record(rec Rec) {
+	if r == nil {
+		return
+	}
+	if uint(rec.Proc) >= uint(len(r.rings)) {
+		return
+	}
+	r.rings[rec.Proc] = append(r.rings[rec.Proc], rec)
+}
+
+// Intern is likewise guarded.
+func (r *Recorder) Intern(name string) uint32 {
+	if r == nil {
+		return 0
+	}
+	if id, ok := r.ids[name]; ok {
+		return id
+	}
+	if r.ids == nil {
+		r.ids = make(map[string]uint32)
+	}
+	id := uint32(len(r.names))
+	r.names = append(r.names, name)
+	r.ids[name] = id
+	return id
+}
+
+// AttrName uses the single-comparison return form of the guard.
+func (r *Recorder) AttrName(id uint32) string {
+	if r == nil || int(id) >= len(r.names) {
+		return ""
+	}
+	return r.names[id]
+}
+
+// Reset delegates to a guarded method: nil-safe without its own guard.
+func (r *Recorder) Clear() {
+	r.Record(Rec{})
+}
+
+// Flush is missing the guard; a nil receiver panics here.
+func (r *Recorder) Flush() []Rec { // want `method Recorder.Flush must start with a nil-receiver guard`
+	out := make([]Rec, 0, len(r.rings))
+	for _, ring := range r.rings {
+		out = append(out, ring...)
+	}
+	return out
+}

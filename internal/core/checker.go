@@ -2,6 +2,7 @@ package core
 
 import (
 	"pervasive/internal/clock"
+	"pervasive/internal/flight"
 	"pervasive/internal/network"
 	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
@@ -75,6 +76,11 @@ type StrobeChecker struct {
 	obsApplied    *obs.Counter
 	obsStale      *obs.Counter
 	obsRaces      *obs.Counter
+
+	// Flight recorder wiring; fl nil (no-op) until SetFlight. flSelf is
+	// the checker's own process index on the transport.
+	fl     *flight.Recorder
+	flSelf int32
 }
 
 // SetObs attaches runtime metrics: predicate evaluations (including the
@@ -86,6 +92,16 @@ func (c *StrobeChecker) SetObs(r *obs.Registry) {
 	c.obsApplied = r.Counter("checker.strobes_applied")
 	c.obsStale = r.Counter("checker.strobes_stale")
 	c.obsRaces = r.Counter("checker.race_markers")
+}
+
+// SetFlight attaches a flight recorder: applied/stale strobes and the
+// predicate's detect/clear edges are recorded at the checker's ring
+// (self is its transport index), and every detection rising edge
+// triggers a full dump — the recent causal context that explains the
+// detection. SetFlight(nil, 0) detaches.
+func (c *StrobeChecker) SetFlight(r *flight.Recorder, self int) {
+	c.fl = r
+	c.flSelf = int32(self)
 }
 
 type change struct {
@@ -167,6 +183,7 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 	case m.Epoch < c.lastEpoch[m.Proc]:
 		c.Stale++
 		c.obsStale.Inc()
+		c.recordStale(m, now)
 		return
 	case m.Epoch > c.lastEpoch[m.Proc]:
 		c.lastEpoch[m.Proc] = m.Epoch
@@ -180,11 +197,20 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 	if m.Seq <= c.lastSeq[m.Proc] {
 		c.Stale++
 		c.obsStale.Inc()
+		c.recordStale(m, now)
 		return
 	}
 	c.lastSeq[m.Proc] = m.Seq
 	c.Applied++
 	c.obsApplied.Inc()
+	if c.fl != nil {
+		epoch, seq, clk := m.FlightStamp()
+		c.fl.Record(flight.Rec{
+			Kind: flight.Apply, Proc: c.flSelf, Peer: int32(m.Proc),
+			Epoch: int32(epoch), Seq: uint64(seq), At: now,
+			Attr: c.fl.Intern(m.Var), PeerClock: clk, Value: m.Value,
+		})
+	}
 
 	// Differential strobes: rebuild the sender's full vector by merging
 	// its changed components into the per-sender reconstruction. After a
@@ -234,14 +260,41 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 			if c.Notify != nil {
 				c.Notify(o)
 			}
+			if c.fl != nil {
+				c.fl.Record(flight.Rec{
+					Kind: flight.Detect, Proc: c.flSelf, Peer: flight.NoPeer,
+					At: now, Value: 1,
+				})
+				// Dump every ring: the predicate is global, so the causal
+				// context of a detection spans the whole fleet.
+				c.fl.TriggerDump("detect", now)
+			}
 		} else if len(c.occ) > 0 {
 			c.occ[len(c.occ)-1].End = now
 			if race {
 				c.occ[len(c.occ)-1].Borderline = true
 			}
+			if c.fl != nil {
+				c.fl.Record(flight.Rec{
+					Kind: flight.Clear, Proc: c.flSelf, Peer: flight.NoPeer, At: now,
+				})
+			}
 		}
 		c.cur = settled
 	}
+}
+
+// recordStale stamps one discarded strobe at the checker's ring.
+func (c *StrobeChecker) recordStale(m StrobeMsg, now sim.Time) {
+	if c.fl == nil {
+		return
+	}
+	epoch, seq, clk := m.FlightStamp()
+	c.fl.Record(flight.Rec{
+		Kind: flight.Stale, Proc: c.flSelf, Peer: int32(m.Proc),
+		Epoch: int32(epoch), Seq: uint64(seq), At: now,
+		Attr: c.fl.Intern(m.Var), PeerClock: clk, Value: m.Value,
+	})
 }
 
 // detectRace reports whether the just-applied event e (from m.Proc, whose

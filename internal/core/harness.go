@@ -6,6 +6,7 @@ import (
 
 	"pervasive/internal/clock"
 	"pervasive/internal/faults"
+	"pervasive/internal/flight"
 	"pervasive/internal/lattice"
 	"pervasive/internal/network"
 	"pervasive/internal/obs"
@@ -69,6 +70,13 @@ type HarnessConfig struct {
 	// crashes/recoveries of sensor processes (not the checker P0),
 	// partitions, and duplicate/reorder windows. See package faults.
 	Faults *faults.Plan
+	// Flight, if non-nil, is the causal flight recorder (built with
+	// flight.New over N+1 processes — the DES is single-threaded). The
+	// harness wires it into sensors, transport and checker, labels its
+	// time base "virtual", and collects trigger-scoped dumps (each
+	// embedding the Obs snapshot when Obs is set) into Harness.Dumps.
+	// Nil (the default) keeps recording off the hot path entirely.
+	Flight *flight.Recorder
 }
 
 // Harness owns one wired simulation.
@@ -86,6 +94,10 @@ type Harness struct {
 
 	// Faults is the compiled fault injector; nil when no plan is installed.
 	Faults *faults.Injector
+
+	// Dumps collects the flight dumps triggered during the run (fault
+	// transitions, checker detections, SignalDump), in trigger order.
+	Dumps []*flight.Dump
 }
 
 // Results of a harness run.
@@ -144,9 +156,22 @@ func NewHarness(cfg HarnessConfig) *Harness {
 
 	h := &Harness{Cfg: cfg, Eng: eng, World: w, Net: nt}
 
+	if cfg.Flight != nil {
+		cfg.Flight.SetTimeBase("virtual")
+		cfg.Flight.SetTrigger(func(d *flight.Dump) {
+			if cfg.Obs != nil {
+				snap := cfg.Obs.Snapshot()
+				d.Metrics = &snap
+			}
+			h.Dumps = append(h.Dumps, d)
+		})
+		nt.SetFlight(cfg.Flight)
+	}
+
 	scfg := SensorConfig{
 		N: cfg.N, Kind: cfg.Kind, CheckerIdx: cfg.N,
 		Trace: cfg.Trace, LogStamps: cfg.LogStamps,
+		Flight: cfg.Flight,
 	}
 	if cfg.Kind == PhysicalReport {
 		scfg.Phys = clock.NewEpsilonFleet(eng.RNG().Fork(), cfg.N, cfg.Epsilon)
@@ -161,10 +186,12 @@ func NewHarness(cfg HarnessConfig) *Harness {
 		case VectorStrobe, DiffVectorStrobe:
 			h.StrobeCk = NewVectorChecker(cfg.N, cfg.Pred)
 			h.StrobeCk.SetObs(cfg.Obs)
+			h.StrobeCk.SetFlight(cfg.Flight, cfg.N)
 			h.StrobeCk.Register(nt, cfg.N)
 		case ScalarStrobe:
 			h.StrobeCk = NewScalarChecker(cfg.N, cfg.Pred)
 			h.StrobeCk.SetObs(cfg.Obs)
+			h.StrobeCk.SetFlight(cfg.Flight, cfg.N)
 			h.StrobeCk.Register(nt, cfg.N)
 		case PhysicalReport:
 			h.PhysCk = NewPhysicalChecker(eng, cfg.N, cfg.Pred, cfg.Slack)
@@ -222,20 +249,45 @@ func (h *Harness) InstallFaults(plan *faults.Plan) {
 		ev := ev
 		h.Eng.At(ev.At, func(now sim.Time) {
 			s := h.Sensors[ev.Proc]
+			fl := h.Cfg.Flight
 			switch ev.Kind {
 			case faults.Crash:
 				s.Crash()
 				crashes.Inc()
 				spans[ev.Proc] = h.Cfg.Obs.StartSpanAt(
 					"faults.down.p"+strconv.Itoa(ev.Proc), now)
+				if fl != nil {
+					fl.Record(flight.Rec{
+						Kind: flight.Crash, Proc: int32(ev.Proc),
+						Peer: flight.NoPeer, Epoch: int32(s.Epoch()), At: now,
+					})
+					fl.TriggerDump("fault:crash(p"+strconv.Itoa(ev.Proc)+")", now)
+				}
 			case faults.Recover:
 				s.Rejoin()
 				recoveries.Inc()
 				spans[ev.Proc].EndAt(now)
 				spans[ev.Proc] = obs.Span{}
+				if fl != nil {
+					fl.Record(flight.Rec{
+						Kind: flight.Recover, Proc: int32(ev.Proc),
+						Peer: flight.NoPeer, Epoch: int32(s.Epoch()), At: now,
+					})
+					fl.TriggerDump("fault:recover(p"+strconv.Itoa(ev.Proc)+")", now)
+				}
 			}
 		})
 	}
+}
+
+// SignalDump triggers an explicit flight dump of every process's ring,
+// tagged "signal:<reason>" — the manual third trigger class next to
+// fault transitions and checker detections.
+func (h *Harness) SignalDump(reason string) {
+	if h.Cfg.Flight == nil {
+		return
+	}
+	h.Cfg.Flight.TriggerDump("signal:"+reason, h.Eng.Now())
 }
 
 // Bind connects object obj's attr to variable varName at sensor proc.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pervasive/internal/clock"
+	"pervasive/internal/flight"
 	"pervasive/internal/network"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
@@ -75,6 +76,7 @@ type Sensor struct {
 	intervalIdx int
 
 	tr *trace.Trace // optional event trace
+	fl *flight.Recorder
 
 	// StampLog accumulates (stamp, true time) per sense event for lattice
 	// analysis when enabled.
@@ -103,6 +105,10 @@ type SensorConfig struct {
 	LocalConj predicate.Cond
 	Trace     *trace.Trace
 	LogStamps bool
+	// Flight, if non-nil, records each sense event — the sender-side
+	// half of the flight recorder's message edges (the transport records
+	// the receiving half). Nil costs one branch per sense.
+	Flight *flight.Recorder
 }
 
 // NewSensors builds the fleet and registers each sensor's message handler
@@ -121,6 +127,7 @@ func NewSensors(eng *sim.Engine, net *network.Net, cfg SensorConfig) []*Sensor {
 			vals:      make(map[string]float64),
 			localConj: cfg.LocalConj,
 			tr:        cfg.Trace,
+			fl:        cfg.Flight,
 			LogStamps: cfg.LogStamps,
 		}
 		switch cfg.Kind {
@@ -162,39 +169,52 @@ func (s *Sensor) onSense(varName string, value float64) {
 	s.vals[varName] = value
 
 	var stamp clock.Vector
+	var ownClock uint64 // this sensor's logical component at the event
 	switch s.Kind {
 	case VectorStrobe:
 		stamp = s.vec.Strobe() // SVC1
+		ownClock = stamp[s.ID]
 		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Epoch: s.epoch, Var: varName, Value: value, Vec: stamp}
-		s.net.Broadcast(s.ID, msg)
+		s.net.BroadcastStamped(s.ID, msg, flight.Stamp{Epoch: int32(s.epoch), Seq: uint64(s.seq), Clock: ownClock})
 		if s.Local != nil {
 			s.Local.OnStrobe(msg, now)
 		}
 	case ScalarStrobe:
 		sv := s.sc.Strobe() // SSC1
+		ownClock = sv
 		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Epoch: s.epoch, Var: varName, Value: value, Scalar: sv}
-		s.net.Broadcast(s.ID, msg)
+		s.net.BroadcastStamped(s.ID, msg, flight.Stamp{Epoch: int32(s.epoch), Seq: uint64(s.seq), Clock: ownClock})
 		if s.Local != nil {
 			s.Local.OnStrobe(msg, now)
 		}
 	case DiffVectorStrobe:
 		sparse := s.dvec.Strobe() // SVC1 with differential wire format
 		stamp = s.dvec.Snapshot()
+		ownClock = stamp[s.ID]
 		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Epoch: s.epoch, Var: varName, Value: value, Sparse: sparse}
-		s.net.Broadcast(s.ID, msg)
+		s.net.BroadcastStamped(s.ID, msg, flight.Stamp{Epoch: int32(s.epoch), Seq: uint64(s.seq), Clock: ownClock})
 		if s.Local != nil {
 			s.Local.OnStrobe(msg, now)
 		}
 	case PhysicalReport:
-		s.net.Send(s.ID, s.checkerIdx, ReportMsg{
+		// Physical reports carry no logical clock; the stamp is just the
+		// per-process seq (matching ReportMsg.FlightStamp).
+		s.net.SendStamped(s.ID, s.checkerIdx, ReportMsg{
 			Proc: s.ID, Seq: s.seq, Var: varName, Value: value,
 			TS: s.phys.Read(now),
-		})
+		}, flight.Stamp{Seq: uint64(s.seq)})
 	}
 	if s.tr != nil {
 		s.tr.Append(trace.Record{
 			Proc: s.ID, Type: trace.Sense, At: now,
 			Attr: varName, Value: value, Vector: stamp,
+		})
+	}
+	if s.fl != nil {
+		s.fl.Record(flight.Rec{
+			Kind: flight.Sense, Proc: int32(s.ID), Peer: flight.NoPeer,
+			Epoch: int32(s.epoch), Seq: uint64(s.seq), At: now,
+			Attr: s.fl.Intern(varName), Clock: ownClock, Value: value,
 		})
 	}
 	if s.LogStamps && stamp != nil {

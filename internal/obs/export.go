@@ -48,9 +48,12 @@ func (h HistSnap) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
-// Quantile returns the upper bound of the bucket where the cumulative
-// count crosses q∈[0,1] — a conservative estimate at bucket resolution.
-// The overflow bucket reports the observed maximum.
+// Quantile estimates the q∈[0,1] quantile by locating the bucket where
+// the cumulative count crosses rank ⌈q·Count⌉ and interpolating linearly
+// inside it, assuming observations are uniform within a bucket. The first
+// bucket's lower edge is the observed minimum; the overflow bucket reports
+// the observed maximum (its upper edge is unknown). Results are clamped to
+// [Min, Max], and an empty histogram reports 0.
 func (h HistSnap) Quantile(q float64) float64 {
 	if h.Count == 0 {
 		return 0
@@ -61,13 +64,25 @@ func (h HistSnap) Quantile(q float64) float64 {
 	}
 	var cum uint64
 	for i, c := range h.Counts {
+		prev := cum
 		cum += c
-		if cum >= target {
-			if i < len(h.Bounds) {
-				return h.Bounds[i]
-			}
-			return h.Max
+		if cum < target {
+			continue
 		}
+		if i >= len(h.Bounds) {
+			return h.Max // overflow bucket: no finite upper edge
+		}
+		lo := h.Min
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		// Fraction of this bucket's mass below the target rank. The
+		// −0.5 places each observation at its rank's midpoint, so the
+		// estimate lands inside the bucket rather than on its edges.
+		frac := (float64(target) - 0.5 - float64(prev)) / float64(c)
+		v := lo + frac*(hi-lo)
+		return math.Min(math.Max(v, h.Min), h.Max)
 	}
 	return h.Max
 }
@@ -82,8 +97,10 @@ type SpanSnap struct {
 // Snapshot is a point-in-time export of a registry, serializable to
 // JSON (and embeddable in a trace's metrics block).
 type Snapshot struct {
-	// TimeBase is "virtual" (DES) or "wall" (live), per SetNow.
-	TimeBase   string        `json:"time_base,omitempty"`
+	// TimeBase is "virtual" (DES) or "wall-us" (live), per SetNow. It is
+	// always emitted so consumers (tracedump -diff in particular) can
+	// refuse to compare durations across mismatched bases.
+	TimeBase   string        `json:"time_base"`
 	At         sim.Time      `json:"at,omitempty"`
 	Counters   []CounterSnap `json:"counters,omitempty"`
 	Gauges     []GaugeSnap   `json:"gauges,omitempty"`

@@ -15,8 +15,9 @@
 // that do not thread "now" around can use StartSpan/End; the DES harness
 // installs the engine's virtual clock, the live engine installs
 // wall-µs-since-start. Durations from the two engines are therefore not
-// comparable unit-for-unit semantics-wise (virtual vs wall); snapshots
-// record which base was in use.
+// comparable unit-for-unit semantics-wise ("virtual" vs "wall-us");
+// snapshots always record which base was in use, and tools that compare
+// spans across runs (tracedump -diff) refuse mismatched bases.
 package obs
 
 import (
@@ -354,7 +355,7 @@ type Registry struct {
 	nowMu sync.RWMutex
 	now   func() sim.Time
 	// TimeBase documents which clock SetNow installed ("virtual" or
-	// "wall"); recorded in snapshots.
+	// "wall-us"); recorded in snapshots.
 	timeBase string
 
 	spanMu   sync.Mutex
@@ -453,7 +454,7 @@ func (r *Registry) RegisterCollector(c Collector) {
 }
 
 // SetNow installs the registry's time source and labels its base
-// ("virtual" for the DES engine, "wall" for the live engine).
+// ("virtual" for the DES engine, "wall-us" for the live engine).
 func (r *Registry) SetNow(base string, fn func() sim.Time) {
 	if r == nil {
 		return

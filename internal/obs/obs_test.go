@@ -101,11 +101,51 @@ func TestHistogramBucketsAndStats(t *testing.T) {
 	if m := hs.Mean(); m != 5522.0/5 {
 		t.Fatalf("mean %v", m)
 	}
-	if q := hs.Quantile(0.5); q != 100 {
+	// Rank ⌈0.5·5⌉ = 3 lands on the single observation in the (10,100]
+	// bucket; midpoint interpolation gives 10 + 0.5·90 = 55.
+	if q := hs.Quantile(0.5); q != 55 {
 		t.Fatalf("p50 %v", q)
 	}
 	if q := hs.Quantile(0.99); q != 5000 {
 		t.Fatalf("p99 %v (expect observed max from overflow bucket)", q)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	empty := HistSnap{Bounds: []float64{10, 100}, Counts: []uint64{0, 0, 0}}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Fatalf("empty q%.1f = %v", q, v)
+		}
+	}
+
+	// All mass in the overflow bucket: only the observed max is known.
+	over := HistSnap{
+		Bounds: []float64{10},
+		Counts: []uint64{0, 4},
+		Count:  4, Min: 50, Max: 900,
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if v := over.Quantile(q); v != 900 {
+			t.Fatalf("overflow q%v = %v, want Max", q, v)
+		}
+	}
+
+	// First bucket interpolates from the observed Min, not from zero, and
+	// results clamp into [Min, Max].
+	first := HistSnap{
+		Bounds: []float64{100},
+		Counts: []uint64{4, 0},
+		Count:  4, Min: 20, Max: 80,
+	}
+	// Rank 2, frac (2-0.5)/4 = 0.375 → 20 + 0.375·80 = 50.
+	if v := first.Quantile(0.5); v != 50 {
+		t.Fatalf("first-bucket p50 = %v", v)
+	}
+	// Rank 4, frac 0.875 → 90, clamped to Max=80.
+	if v := first.Quantile(1); v != 80 {
+		t.Fatalf("clamp to max = %v", v)
 	}
 }
 

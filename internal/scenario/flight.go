@@ -1,0 +1,12 @@
+package scenario
+
+import "pervasive/internal/flight"
+
+// flightFor builds a flight recorder for n sensors plus the checker
+// when a scenario asks for per-process capacity k; zero disables it.
+func flightFor(k, n int) *flight.Recorder {
+	if k <= 0 {
+		return nil
+	}
+	return flight.New(n+1, k)
+}

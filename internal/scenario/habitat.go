@@ -29,6 +29,10 @@ type HabitatConfig struct {
 	Horizon     sim.Time
 	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
 	Obs *obs.Registry
+	// FlightPerProc, when positive, attaches a causal flight recorder
+	// keeping the last FlightPerProc events per process (sensors plus
+	// checker); trigger-scoped dumps land in Harness.Dumps.
+	FlightPerProc int
 }
 
 func (c *HabitatConfig) fill() {
@@ -66,7 +70,7 @@ func NewHabitat(cfg HabitatConfig) *Habitat {
 	h := core.NewHarness(core.HarnessConfig{
 		Seed: cfg.Seed, N: cfg.Waterholes, Kind: cfg.Kind, Delay: cfg.Delay,
 		Pred: pred, Modality: predicate.Instantaneously, Horizon: cfg.Horizon,
-		Obs: cfg.Obs,
+		Obs: cfg.Obs, Flight: flightFor(cfg.FlightPerProc, cfg.Waterholes),
 	})
 	for i := 0; i < cfg.Waterholes; i++ {
 		wh := h.World.AddObject(fmt.Sprintf("waterhole-%d", i), nil)

@@ -41,6 +41,10 @@ type HallConfig struct {
 	Trace *trace.Trace
 	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
 	Obs *obs.Registry
+	// FlightPerProc, when positive, attaches a causal flight recorder
+	// keeping the last FlightPerProc events per process (sensors plus
+	// checker); trigger-scoped dumps land in Harness.Dumps.
+	FlightPerProc int
 }
 
 func (c *HallConfig) fill() {
@@ -89,6 +93,7 @@ func NewHall(cfg HallConfig) *Hall {
 		Horizon:  cfg.Horizon,
 		Trace:    cfg.Trace,
 		Obs:      cfg.Obs,
+		Flight:   flightFor(cfg.FlightPerProc, cfg.Doors),
 	})
 	hall := &Hall{Cfg: cfg, Harness: h}
 	for i := 0; i < cfg.Doors; i++ {

@@ -36,6 +36,10 @@ type HospitalConfig struct {
 	Horizon       sim.Time
 	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
 	Obs *obs.Registry
+	// FlightPerProc, when positive, attaches a causal flight recorder
+	// keeping the last FlightPerProc events per process (sensors plus
+	// checker); trigger-scoped dumps land in Harness.Dumps.
+	FlightPerProc int
 }
 
 func (c *HospitalConfig) fill() {
@@ -93,7 +97,7 @@ func NewHospital(cfg HospitalConfig) *Hospital {
 	h := core.NewHarness(core.HarnessConfig{
 		Seed: cfg.Seed, N: n, Kind: cfg.Kind, Delay: cfg.Delay,
 		Pred: pred, Modality: predicate.Instantaneously, Horizon: cfg.Horizon,
-		Obs: cfg.Obs,
+		Obs: cfg.Obs, Flight: flightFor(cfg.FlightPerProc, n),
 	})
 	hp := &Hospital{Cfg: cfg, Harness: h}
 	if h.StrobeCk != nil {

@@ -35,6 +35,10 @@ type OfficeConfig struct {
 	MeanTempStep sim.Duration
 	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
 	Obs *obs.Registry
+	// FlightPerProc, when positive, attaches a causal flight recorder
+	// keeping the last FlightPerProc events per process (sensors plus
+	// checker); trigger-scoped dumps land in Harness.Dumps.
+	FlightPerProc int
 }
 
 func (c *OfficeConfig) fill() {
@@ -90,7 +94,7 @@ func NewOffice(cfg OfficeConfig) *Office {
 
 	hcfg := core.HarnessConfig{
 		Seed: cfg.Seed, N: n, Kind: core.VectorStrobe, Delay: cfg.Delay,
-		Pred: pred, Modality: cfg.Modality, Horizon: cfg.Horizon, Obs: cfg.Obs,
+		Pred: pred, Modality: cfg.Modality, Horizon: cfg.Horizon, Obs: cfg.Obs, Flight: flightFor(cfg.FlightPerProc, n),
 	}
 	if cfg.Modality == predicate.Possibly || cfg.Modality == predicate.Definitely {
 		// Local conjunct template: motion sensors report motion==1

@@ -28,6 +28,10 @@ type ProximityConfig struct {
 	Horizon sim.Time
 	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
 	Obs *obs.Registry
+	// FlightPerProc, when positive, attaches a causal flight recorder
+	// keeping the last FlightPerProc events per process (sensors plus
+	// checker); trigger-scoped dumps land in Harness.Dumps.
+	FlightPerProc int
 }
 
 func (c *ProximityConfig) fill() {
@@ -70,7 +74,7 @@ func NewProximity(cfg ProximityConfig) *Proximity {
 	h := core.NewHarness(core.HarnessConfig{
 		Seed: cfg.Seed, N: 2, Kind: cfg.Kind, Delay: cfg.Delay,
 		Pred: pred, Modality: predicate.Instantaneously, Horizon: cfg.Horizon,
-		Obs: cfg.Obs,
+		Obs: cfg.Obs, Flight: flightFor(cfg.FlightPerProc, 2),
 	})
 	p := &Proximity{Cfg: cfg, Harness: h}
 	if h.StrobeCk != nil {

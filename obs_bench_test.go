@@ -1,15 +1,17 @@
 package pervasive
 
-// Overhead benchmarks for the internal/obs instrumentation. The
-// acceptance bar for the observability layer is that an enabled
-// registry slows the DES kernel by <5% versus the nil (no-op)
-// registry; BENCH_obs.json records the measured numbers. Run with:
+// Overhead benchmarks for the always-on observability layers. The
+// acceptance bars: an enabled obs registry slows the DES kernel by <5%
+// versus the nil (no-op) registry, and an attached flight recorder
+// stays within the same <5% bar versus the nil recorder; BENCH_obs.json
+// records the measured numbers. Run with:
 //
 //	go test -bench 'DESKernel' -benchtime 2s -count 5 .
 
 import (
 	"testing"
 
+	"pervasive/internal/flight"
 	"pervasive/internal/network"
 	"pervasive/internal/obs"
 	"pervasive/internal/sim"
@@ -25,7 +27,7 @@ func (benchPayload) Kind() string  { return "bench" }
 // 4 concurrent token rings for ~15k link transmissions per run. Only
 // the event-loop run is timed — registry setup and the final snapshot
 // are per-run one-time costs, not kernel overhead.
-func benchKernel(b *testing.B, instrumented bool) {
+func benchKernel(b *testing.B, instrumented, flightOn bool) {
 	b.Helper()
 	b.ReportAllocs()
 	const (
@@ -33,6 +35,17 @@ func benchKernel(b *testing.B, instrumented bool) {
 		horizon = 2 * Second
 		delta   = Millisecond
 	)
+	// One recorder for the whole benchmark, like a deployment: it is
+	// attached for the process lifetime and its rings simply keep
+	// wrapping. Allocating 128KB of fresh rings per iteration would
+	// charge setup GC pressure to the kernel loop instead of the
+	// recorder's real per-event cost.
+	var rec *flight.Recorder
+	if flightOn {
+		rec = flight.New(n, flight.DefaultPerProc)
+		rec.SetTimeBase("virtual")
+	}
+	var lastEng *sim.Engine
 	b.StopTimer()
 	for i := 0; i < b.N; i++ {
 		var reg *obs.Registry
@@ -45,6 +58,9 @@ func benchKernel(b *testing.B, instrumented bool) {
 			reg.SetNow("virtual", eng.Now)
 			obs.CollectEngine(reg, eng)
 			nt.SetObs(reg)
+		}
+		if rec != nil {
+			nt.SetFlight(rec)
 		}
 		for p := 0; p < n; p++ {
 			p := p
@@ -69,13 +85,29 @@ func benchKernel(b *testing.B, instrumented bool) {
 				b.Fatal("no metrics collected")
 			}
 		}
+		lastEng = eng
+	}
+	// Diagnostic only, once per benchmark rather than per iteration: a
+	// per-iteration Snapshot allocates ~128KB of untimed garbage whose
+	// concurrent GC mark work would bleed into the next iteration's
+	// timed region and masquerade as recorder overhead.
+	if rec != nil && lastEng != nil {
+		d := rec.Snapshot("bench", lastEng.Now())
+		if len(d.Events) == 0 {
+			b.Fatal("no flight records captured")
+		}
 	}
 }
 
 // BenchmarkDESKernelNoop is the uninstrumented baseline: a nil registry
 // everywhere, so every obs call site is a nil-check no-op.
-func BenchmarkDESKernelNoop(b *testing.B) { benchKernel(b, false) }
+func BenchmarkDESKernelNoop(b *testing.B) { benchKernel(b, false, false) }
 
 // BenchmarkDESKernelObs is the same workload with a live registry
 // attached to the engine and the transport.
-func BenchmarkDESKernelObs(b *testing.B) { benchKernel(b, true) }
+func BenchmarkDESKernelObs(b *testing.B) { benchKernel(b, true, false) }
+
+// BenchmarkDESKernelFlight is the same workload with the flight
+// recorder attached to the transport (nil obs registry), isolating the
+// recorder's per-delivery ring-write cost.
+func BenchmarkDESKernelFlight(b *testing.B) { benchKernel(b, false, true) }
