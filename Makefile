@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race-live bench-obs bench-obs-smoke bench-kernel bench-lattice bench-faults bench
+.PHONY: check build vet lint test race-live bench-obs bench-obs-smoke bench-kernel bench-lattice bench-faults bench-shard bench
 
 check: build vet lint bench-obs-smoke
 	$(GO) test -race ./...
@@ -12,6 +12,7 @@ check: build vet lint bench-obs-smoke
 	$(GO) test -race -run 'TestSurveyMatchesOracle|TestSurveyParallelDeterministic' ./internal/lattice/
 	$(GO) test -race -run 'TestLiveOverload|TestLiveCrashRecovery|TestLiveRecoveryDrainsMailbox' ./internal/live/
 	$(GO) test -race ./internal/faults/ ./internal/network/ -run 'Fault|Crash|Partition|Duplicate|Reorder|FloodDedup'
+	$(GO) test -race -run 'TestShard|TestSharded|TestAtPri' ./internal/sim/ ./internal/core/
 
 build:
 	$(GO) build ./...
@@ -62,6 +63,14 @@ bench-lattice:
 # costs nothing measurable.
 bench-faults:
 	$(GO) run ./cmd/benchfaults -o BENCH_faults.json
+
+# Sharded-engine scale numbers (legacy dense/race-aware configuration vs
+# sparse sharded kernel, shard-count digest identity at p=10240, max-p
+# row); rewrites the recorded BENCH_shard.json. Takes ~20s: the legacy
+# configuration is measured through p=1024 and projected beyond (its
+# O(p^2)-per-strobe race scan would take ~45 minutes at p=10240).
+bench-shard:
+	$(GO) run ./cmd/benchshard -o BENCH_shard.json
 
 bench: bench-lattice
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -1,0 +1,274 @@
+// Command benchshard records the spatially-sharded engine's scale numbers
+// into BENCH_shard.json (via `make bench-shard`): the legacy configuration
+// (dense vector clocks + race-aware checker reconstructions — what every
+// run paid before the sharded kernel) measured along a fleet-size curve
+// and projected to p = 10⁴, the dense-representation cost measured
+// directly at p = 10⁴, a shard-count sweep at p = 10⁴ proving
+// byte-identical counter digests, and a p = 65536 max-p row the dense
+// representation cannot reasonably reach.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"pervasive/internal/core"
+	"pervasive/internal/sim"
+)
+
+type gridRow struct {
+	P          int     `json:"p"`
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	WallMs     float64 `json:"wall_ms"`
+	ClockBytes int64   `json:"clock_bytes"`
+	Epochs     uint64  `json:"epochs"`
+	Cross      uint64  `json:"cross_shard_msgs"`
+	Recall     float64 `json:"recall"`
+	Identical  bool    `json:"identical_to_s1"`
+}
+
+type legacyRow struct {
+	P          int     `json:"p"`
+	WallMs     float64 `json:"wall_ms"`
+	ClockBytes int64   `json:"clock_bytes"`
+	// Projected rows are extrapolated from the measured curve (the
+	// checker's race scan is O(p²) per strobe; measuring p=10240
+	// directly takes tens of minutes). Measured rows have it false.
+	Projected bool `json:"projected"`
+	// SlowdownVsSharded is this row's wall clock over the sharded sparse
+	// configuration's at the same p.
+	SlowdownVsSharded float64 `json:"slowdown_vs_sharded"`
+}
+
+type maxPRow struct {
+	P          int     `json:"p"`
+	Shards     int     `json:"shards"`
+	WallMs     float64 `json:"wall_ms"`
+	ClockBytes int64   `json:"clock_bytes"`
+	Recall     float64 `json:"recall"`
+	// DenseProjectionBytes is p dense diff vectors (clock + lastSent
+	// shadow) — the clock state alone the legacy representation would
+	// allocate at this p, before the checker's O(p²) reconstructions.
+	DenseProjectionBytes int64 `json:"dense_clock_projection_bytes"`
+}
+
+type report struct {
+	Description string `json:"description"`
+	Command     string `json:"command"`
+	Date        string `json:"date"`
+	Go          string `json:"go"`
+	CPU         string `json:"cpu"`
+	CPUs        int    `json:"cpus"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	HorizonMs   int64  `json:"horizon_ms"`
+
+	// Legacy is the pre-shard configuration (dense clocks, race-aware
+	// checker) along a fleet-size curve, with the p=10240 point
+	// projected from the measured growth exponent.
+	Legacy         []legacyRow `json:"legacy_dense_raceaware"`
+	LegacyExponent float64     `json:"legacy_growth_exponent"`
+	// DenseAt10K isolates the representation cost: dense clocks with the
+	// race scan off, measured directly at p=10240.
+	DenseAt10K legacyRow `json:"dense_only_at_p10240"`
+	Sharded    []gridRow `json:"sharded_sparse"`
+	MaxP       maxPRow   `json:"max_p"`
+
+	IdenticalAcrossShards bool `json:"identical_across_shards"`
+	// SpeedupAt10KMeasured is dense-only/sharded at p=10240 (both
+	// measured); SpeedupAt10KLegacy uses the projected legacy wall.
+	SpeedupAt10KMeasured float64 `json:"speedup_at_p10k_measured"`
+	SpeedupAt10KLegacy   float64 `json:"speedup_at_p10k_vs_legacy_projected"`
+	SpeedupPass          bool    `json:"speedup_pass"`
+	// SublinearRatio is (clock bytes ratio)/(p ratio) between the
+	// largest and smallest sparse sharded rows; < 1 means clock memory
+	// grows sublinearly in p.
+	SublinearRatio float64 `json:"clock_sublinear_ratio"`
+	SublinearPass  bool    `json:"clock_sublinear_pass"`
+	Notes          string  `json:"notes"`
+}
+
+func run(p, shards, workers int, dense, raceAware bool, horizon sim.Time) (core.ShardedResults, []string, float64) {
+	h := core.NewShardedHarness(core.ShardedConfig{
+		Seed: 1, N: p, Shards: shards, Workers: workers,
+		Delay:    sim.NewDeltaBounded(5 * sim.Millisecond),
+		MeanHigh: 1200 * sim.Millisecond, MeanLow: 400 * sim.Millisecond,
+		Horizon: horizon, DenseClocks: dense, RaceAware: raceAware,
+	})
+	start := time.Now()
+	res := h.Run()
+	wall := float64(time.Since(start)) / float64(time.Millisecond)
+	return res, h.CounterLines(), wall
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	maxP := flag.Int("maxp", 65536, "fleet size for the max-p row")
+	flag.Parse()
+
+	const horizon = 2 * sim.Second
+	const bigP = 10240
+	progress := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+
+	r := report{
+		Description: "spatially-sharded parallel DES engine (conservative lookahead epochs, " +
+			"sparse clock state, race-blind checker) vs the legacy single-heap configuration " +
+			"(dense per-sensor vector clocks, race-aware checker reconstructions). Same " +
+			"seeded pilot-predicate scenario everywhere.",
+		Command:    "make bench-shard (go run ./cmd/benchshard -o BENCH_shard.json)",
+		Date:       time.Now().Format("2006-01-02"),
+		Go:         runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:        cpuModel(),
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		HorizonMs:  int64(horizon / sim.Millisecond),
+	}
+
+	// Sharded sparse grid: S=1 rows anchor both the digest-identity check
+	// and the slowdown denominators.
+	shardedWall := map[int]float64{}
+	for _, p := range []int{256, 512, 1024, 4096, bigP} {
+		shardSet := []int{1}
+		if p == bigP {
+			shardSet = []int{1, 2, 4, 8}
+		}
+		var baseDigest string
+		for _, s := range shardSet {
+			workers := 1
+			if s > 1 {
+				workers = s
+			}
+			res, digest, wall := run(p, s, workers, false, false, horizon)
+			d := strings.Join(digest, "\n")
+			if s == 1 {
+				shardedWall[p] = wall
+				baseDigest = d
+			}
+			row := gridRow{
+				P: p, Shards: s, Workers: workers, WallMs: wall,
+				ClockBytes: res.ClockBytes, Epochs: res.Epochs, Cross: res.CrossSent,
+				Recall:    res.Confusion.Recall(),
+				Identical: d == baseDigest,
+			}
+			r.Sharded = append(r.Sharded, row)
+			progress("sharded p=%d S=%d: %.0fms, %d clock bytes, identical=%v",
+				p, s, wall, res.ClockBytes, row.Identical)
+		}
+	}
+	r.IdenticalAcrossShards = true
+	for _, row := range r.Sharded {
+		if !row.Identical {
+			r.IdenticalAcrossShards = false
+		}
+	}
+
+	// Legacy curve: measured where tractable, projected at p=10240 from
+	// the growth exponent of the last measured doubling.
+	for _, p := range []int{256, 512, 1024} {
+		res, _, wall := run(p, 1, 1, true, true, horizon)
+		r.Legacy = append(r.Legacy, legacyRow{
+			P: p, WallMs: wall, ClockBytes: res.ClockBytes,
+			SlowdownVsSharded: wall / shardedWall[p],
+		})
+		progress("legacy p=%d: %.0fms (%.1fx sharded)", p, wall, wall/shardedWall[p])
+	}
+	n := len(r.Legacy)
+	r.LegacyExponent = math.Log2(r.Legacy[n-1].WallMs / r.Legacy[n-2].WallMs)
+	projWall := r.Legacy[n-1].WallMs *
+		math.Pow(float64(bigP)/float64(r.Legacy[n-1].P), r.LegacyExponent)
+	projClock := r.Legacy[n-1].ClockBytes / int64(r.Legacy[n-1].P*r.Legacy[n-1].P) *
+		int64(bigP*bigP) // dense diff state is p × O(p)
+	r.Legacy = append(r.Legacy, legacyRow{
+		P: bigP, WallMs: projWall, ClockBytes: projClock, Projected: true,
+		SlowdownVsSharded: projWall / shardedWall[bigP],
+	})
+	progress("legacy p=%d: projected %.0fms at exponent %.2f", bigP, projWall, r.LegacyExponent)
+
+	// Representation cost in isolation, measured directly at p=10240.
+	{
+		res, _, wall := run(bigP, 1, 1, true, false, horizon)
+		r.DenseAt10K = legacyRow{
+			P: bigP, WallMs: wall, ClockBytes: res.ClockBytes,
+			SlowdownVsSharded: wall / shardedWall[bigP],
+		}
+		progress("dense-only p=%d: %.0fms (%.1fx sharded)", bigP, wall, r.DenseAt10K.SlowdownVsSharded)
+	}
+	r.SpeedupAt10KMeasured = r.DenseAt10K.SlowdownVsSharded
+	r.SpeedupAt10KLegacy = r.Legacy[len(r.Legacy)-1].SlowdownVsSharded
+	r.SpeedupPass = r.SpeedupAt10KMeasured >= 2
+
+	{
+		res, _, wall := run(*maxP, 8, 8, false, false, horizon)
+		p := int64(*maxP)
+		r.MaxP = maxPRow{
+			P: *maxP, Shards: 8, WallMs: wall,
+			ClockBytes: res.ClockBytes, Recall: res.Confusion.Recall(),
+			DenseProjectionBytes: p * (16 + 8*2*(p+1)),
+		}
+		progress("max-p p=%d: %.0fms, %d clock bytes (dense projection %d)",
+			*maxP, wall, res.ClockBytes, r.MaxP.DenseProjectionBytes)
+	}
+
+	first, lastSh := r.Sharded[0], r.Sharded[len(r.Sharded)-1]
+	pRatio := float64(lastSh.P) / float64(first.P)
+	bRatio := float64(lastSh.ClockBytes) / float64(first.ClockBytes)
+	r.SublinearRatio = bRatio / pRatio
+	r.SublinearPass = r.SublinearRatio < 1
+
+	r.Notes = fmt.Sprintf(
+		"GOMAXPROCS=%d on this container, so shard workers cannot buy wall-clock "+
+			"parallelism here; the recorded win is representational. Measured at p=10240: "+
+			"dense clock state alone is %.1fx slower and %dx the memory of the sparse "+
+			"sharded run. The full legacy configuration adds the checker's O(p^2)-per-strobe "+
+			"race scan: measured through p=1024 (%.1fs) and growing at ~p^%.1f, it projects "+
+			"to ~%.0f minutes at p=10240 — intractable, which is why that row is projected, "+
+			"not measured. Counter digests are byte-identical at every shard and worker "+
+			"count; epoch lookahead is the delay model's minimum bound.",
+		runtime.GOMAXPROCS(0), r.SpeedupAt10KMeasured,
+		r.DenseAt10K.ClockBytes/maxI64(1, r.Sharded[len(r.Sharded)-2].ClockBytes),
+		r.Legacy[2].WallMs/1000, r.LegacyExponent, projWall/60000)
+
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchshard:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchshard:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (p=10240: %.1fx vs dense measured, %.0fx vs legacy projected; identical=%v; sublinear %.3f; max p=%d in %.0fms)\n",
+		*out, r.SpeedupAt10KMeasured, r.SpeedupAt10KLegacy,
+		r.IdenticalAcrossShards, r.SublinearRatio, r.MaxP.P, r.MaxP.WallMs)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

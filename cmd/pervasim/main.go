@@ -39,7 +39,7 @@ import (
 
 func main() {
 	var (
-		scen     = flag.String("scenario", "hall", "hall | office | hospital | habitat | proximity")
+		scen     = flag.String("scenario", "hall", "hall | office | hospital | habitat | proximity | scale")
 		kindName = flag.String("kind", "vector", "vector | scalar | physical | diff")
 		delta    = flag.Duration("delta", 100*time.Millisecond, "message delay bound Δ")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -57,6 +57,10 @@ func main() {
 		flightDir   = flag.String("flight", "", "attach the flight recorder; write trigger-scoped dumps (JSONL) into this directory")
 		flightK     = flag.Int("flight-k", flight.DefaultPerProc, "flight recorder capacity: last K events kept per process")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
+		sensors     = flag.Int("sensors", 1024, "scale: fleet size")
+		shards      = flag.Int("shards", 1, "scale: spatial shard count for the parallel kernel")
+		workers     = flag.Int("workers", 1, "scale: intra-epoch worker goroutines (output identical at any setting)")
+		denseClocks = flag.Bool("dense-clocks", false, "scale: force dense vector clocks (sparse by density otherwise)")
 	)
 	flag.Parse()
 
@@ -104,12 +108,29 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 
+	if *shards > 1 && *scen != "scale" {
+		fatal(fmt.Errorf("-shards applies only to -scenario scale; the classic scenarios run on the single-heap kernel"))
+	}
+
 	var (
 		res   core.Results
 		extra string
 		tr    *trace.Trace
 	)
 	switch *scen {
+	case "scale":
+		sc := scenario.NewScale(scenario.ScaleConfig{
+			Seed: *seed, N: *sensors, Shards: *shards, Workers: *workers,
+			Delay: delay, Horizon: hz, DenseClocks: *denseClocks,
+			Faults: plan, Obs: reg,
+		})
+		sr := sc.Run()
+		res = core.Results{
+			Occurrences: sr.Occurrences, Markers: sr.Markers, Truth: sr.Truth,
+			Confusion: sr.Confusion, Net: sr.Net, Horizon: sr.Horizon,
+		}
+		extra = fmt.Sprintf("fleet: %d sensors over %d shard(s), %d epochs, %d cross-shard msgs, %.1f KB clock state",
+			*sensors, *shards, sr.Epochs, sr.CrossSent, float64(sr.ClockBytes)/1024)
 	case "hall":
 		cfg := scenario.HallConfig{
 			Seed: *seed, Doors: *doors, Capacity: *capacity,

@@ -56,3 +56,28 @@ func SpawnDone(ch chan int, done chan struct{}) {
 func Synchronous(ch chan int) {
 	ch <- 5
 }
+
+// EpochWorkers is the sharded kernel's fan-out shape (sim.Shards
+// runEpoch): WaitGroup-tracked workers that write only their own slot
+// and rendezvous via Wait, with no channel sends at all. Not flagged —
+// a worker with nothing to send cannot park on a stalled receiver.
+func EpochWorkers(parts [][]int) {
+	var wg waitGroup
+	for k := range parts {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parts[k] = append(parts[k], k)
+		}()
+	}
+	wg.Wait()
+}
+
+// waitGroup mirrors sync.WaitGroup's surface so the fixture stays
+// dependency-free under the test loader.
+type waitGroup struct{ n int }
+
+func (w *waitGroup) Add(d int) { w.n += d }
+func (w *waitGroup) Done()     { w.n-- }
+func (w *waitGroup) Wait()     {}

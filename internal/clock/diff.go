@@ -92,3 +92,12 @@ func (v Vector) MergeSparse(s SparseStamp) {
 func (d *DiffStrobeVector) OnStrobe(s SparseStamp) {
 	d.inner.v.MergeSparse(s)
 }
+
+// OwnClock returns the local component without cloning the vector.
+func (d *DiffStrobeVector) OwnClock() uint64 { return d.inner.v[d.inner.me] }
+
+// StateBytes estimates the resident footprint of the clock state: the
+// current vector plus the last-sent baseline, both dense.
+func (d *DiffStrobeVector) StateBytes() int {
+	return 16 + 8*(len(d.inner.v)+len(d.lastSent))
+}

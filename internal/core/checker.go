@@ -216,8 +216,11 @@ func (c *StrobeChecker) OnStrobe(m StrobeMsg, now sim.Time) {
 	// its changed components into the per-sender reconstruction. After a
 	// lost diff the reconstruction under-knows until the missing
 	// components change again — which can only add false concurrency
-	// (more borderline flags), never false order.
-	if m.Vec == nil && m.Sparse != nil {
+	// (more borderline flags), never false order. The reconstructions
+	// exist solely to feed race detection, so a race-blind checker skips
+	// them entirely — that is what keeps checker memory O(n), not O(n²),
+	// at scale.
+	if m.Vec == nil && m.Sparse != nil && c.raceAware {
 		if c.recon == nil {
 			c.recon = make([]clock.Vector, c.n)
 			c.stampBuf = make([]clock.Vector, c.n)

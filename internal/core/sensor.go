@@ -54,13 +54,16 @@ type Sensor struct {
 	Kind ClockKind
 
 	eng        *sim.Engine
-	net        *network.Net
+	net        Transport
 	checkerIdx int
 	n          int // fleet size (for fresh clocks on Rejoin)
 
-	vec  *clock.StrobeVector
-	sc   *clock.StrobeScalar
-	dvec *clock.DiffStrobeVector
+	vec *clock.StrobeVector
+	sc  *clock.StrobeScalar
+	// dvec is the differential strobe clock behind the representation
+	// interface: dense below clock.DenseSparseCutoff, sorted-pairs sparse
+	// above (or as the builder chose). Rejoin preserves the representation.
+	dvec clock.VectorState
 	phys clock.Physical
 
 	seq   int
@@ -189,8 +192,13 @@ func (s *Sensor) onSense(varName string, value float64) {
 		}
 	case DiffVectorStrobe:
 		sparse := s.dvec.Strobe() // SVC1 with differential wire format
-		stamp = s.dvec.Snapshot()
-		ownClock = stamp[s.ID]
+		ownClock = s.dvec.OwnClock()
+		// Materializing the full vector is O(n); only pay for it when a
+		// consumer actually wants dense stamps. At scale (sparse clocks,
+		// no trace) a sense event touches O(active peers) state only.
+		if s.tr != nil || s.LogStamps || s.localConj != nil {
+			stamp = s.dvec.Snapshot()
+		}
 		msg := StrobeMsg{Proc: s.ID, Seq: s.seq, Epoch: s.epoch, Var: varName, Value: value, Sparse: sparse}
 		s.net.BroadcastStamped(s.ID, msg, flight.Stamp{Epoch: int32(s.epoch), Seq: uint64(s.seq), Clock: ownClock})
 		if s.Local != nil {
@@ -321,7 +329,26 @@ func (s *Sensor) Rejoin() {
 	case ScalarStrobe:
 		s.sc = &clock.StrobeScalar{}
 	case DiffVectorStrobe:
-		s.dvec = clock.NewDiffStrobeVector(s.ID, s.n)
+		// Fresh clock in the same representation the sensor was built with.
+		if _, sparse := s.dvec.(*clock.SparseStrobeVector); sparse {
+			s.dvec = clock.NewSparseStrobeVector(s.ID, s.n)
+		} else {
+			s.dvec = clock.NewDiffStrobeVector(s.ID, s.n)
+		}
+	}
+}
+
+// ClockStateBytes estimates the resident footprint of the sensor's logical
+// clock state — the quantity the sparse representation keeps O(active
+// peers) instead of O(n).
+func (s *Sensor) ClockStateBytes() int {
+	switch {
+	case s.dvec != nil:
+		return s.dvec.StateBytes()
+	case s.vec != nil:
+		return 8 * s.n
+	default:
+		return 8
 	}
 }
 

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pervasive/internal/clock"
+	"pervasive/internal/faults"
+	"pervasive/internal/network"
+	"pervasive/internal/obs"
+	"pervasive/internal/predicate"
+	"pervasive/internal/sim"
+	"pervasive/internal/stats"
+	"pervasive/internal/trace"
+	"pervasive/internal/world"
+)
+
+// ShardedConfig assembles one spatially-sharded detection run: N sensors
+// on a radio topology, partitioned contiguously over Shards lockstep
+// engines, with the checker P0 as transport index N on the last shard.
+//
+// The scored predicate covers only the Pilot leading sensors ("at least
+// PilotK of the pilot motion sensors are high"), so predicate evaluation
+// and ground truth stay O(Pilot) while the remaining fleet generates real
+// sensing, strobe and clock load. That asymmetry is what the paper's
+// deployment story needs at p ≥ 10⁴: the network-wide protocol machinery
+// runs at full scale, the global predicate is local to a neighborhood.
+type ShardedConfig struct {
+	Seed   uint64
+	N      int // sensor count; the checker is transport index N
+	Shards int
+	// Workers bounds how many shards execute concurrently within an epoch
+	// (<= 1: sequential). Purely a wall-clock knob; results are identical.
+	Workers int
+	// Delay must have a positive minimum bound (sim.MinDelayBound) when
+	// Shards > 1; it becomes the conservative lookahead.
+	Delay sim.DelayModel
+	// Topo is the sensor radio topology over N nodes; nil defaults to a
+	// near-square grid. Strobes reach topology neighbors plus the checker.
+	Topo network.Topology
+	// Pilot (default min(8, N)) and PilotK (default majority of Pilot)
+	// define the scored predicate p@0 + … + p@(Pilot-1) >= PilotK.
+	Pilot  int
+	PilotK int
+	// MeanHigh/MeanLow are the per-sensor toggler dwell times (defaults
+	// 800ms / 1.5s).
+	MeanHigh, MeanLow sim.Duration
+	Horizon           sim.Time
+	// Tol is the scoring tolerance; defaults to the delay bound + 1ms.
+	Tol sim.Duration
+	// RaceAware keeps the checker's per-sender vector reconstructions
+	// (O(N) memory per active sender — O(N²) worst case). Off by default
+	// for scale runs; the differential oracle covers both settings.
+	RaceAware bool
+	// DenseClocks forces dense vector state regardless of fleet size (the
+	// single-heap-era baseline the benches compare against); otherwise
+	// clock.NewVectorState picks by density.
+	DenseClocks bool
+	// Faults, if non-nil, is the deterministic fault plan; transitions are
+	// scheduled on each target's own shard.
+	Faults *faults.Plan
+	Obs    *obs.Registry
+	// Trace records per-shard sense/receive traces, merged deterministically
+	// by MergedTrace. Test-sized runs only: stamps are materialized densely.
+	Trace bool
+}
+
+// ShardedHarness owns one wired sharded simulation.
+type ShardedHarness struct {
+	Cfg     ShardedConfig
+	Sh      *sim.Shards
+	Net     *network.ShardedNet
+	Worlds  []*world.World // one per shard
+	Sensors []*Sensor
+	Checker *StrobeChecker
+	Faults  *faults.Injector
+	Pred    predicate.Cond
+
+	smap    network.ShardMap
+	objBase []int // first global sensor index hosted by each shard
+	traces  []*trace.Trace
+}
+
+// ShardedResults of a sharded run.
+type ShardedResults struct {
+	Occurrences []Occurrence
+	Markers     []sim.Time
+	Truth       []world.Interval
+	Confusion   stats.Confusion
+	Net         network.Stats
+	Horizon     sim.Time
+	// ClockBytes is the fleet's summed resident clock-state footprint at
+	// the end of the run (peak for monotonically-growing sparse state).
+	ClockBytes int64
+	Epochs     uint64
+	CrossSent  uint64
+}
+
+// PilotPred builds the scored predicate p@0 + … + p@(m-1) >= k.
+func PilotPred(m, k int) predicate.Cond {
+	terms := make([]string, m)
+	for i := range terms {
+		terms[i] = "p@" + strconv.Itoa(i)
+	}
+	return predicate.MustParse(strings.Join(terms, " + ") + " >= " + strconv.Itoa(k))
+}
+
+// NewShardedHarness wires shards, worlds, transport, sensor fleet,
+// workload and checker. The construction order — and every random stream
+// in it — is indexed by sensor, never by shard, so any shard count yields
+// the same run.
+func NewShardedHarness(cfg ShardedConfig) *ShardedHarness {
+	if cfg.N <= 0 {
+		panic("core: sharded harness needs at least one sensor")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.N {
+		cfg.Shards = cfg.N
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = sim.NewDeltaBounded(5 * sim.Millisecond)
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 4 * sim.Second
+	}
+	if cfg.MeanHigh <= 0 {
+		cfg.MeanHigh = 800 * sim.Millisecond
+	}
+	if cfg.MeanLow <= 0 {
+		cfg.MeanLow = 1500 * sim.Millisecond
+	}
+	if cfg.Pilot <= 0 || cfg.Pilot > cfg.N {
+		cfg.Pilot = 8
+		if cfg.Pilot > cfg.N {
+			cfg.Pilot = cfg.N
+		}
+	}
+	if cfg.PilotK <= 0 {
+		cfg.PilotK = cfg.Pilot/2 + 1
+	}
+	if cfg.Tol <= 0 {
+		bound := cfg.Delay.Bound()
+		if bound == sim.Never {
+			bound = 100 * sim.Millisecond
+		}
+		cfg.Tol = bound + sim.Millisecond
+	}
+	if cfg.Topo == nil {
+		cfg.Topo = gridFor(cfg.N)
+	}
+
+	look := sim.MinDelayBound(cfg.Delay)
+	sh := sim.NewShards(cfg.Shards, look, cfg.Seed)
+	sh.SetWorkers(cfg.Workers)
+	smap := network.ShardMap{Procs: cfg.N + 1, Shards: cfg.Shards}
+	snet := network.NewSharded(sh, cfg.Topo, cfg.Delay, smap, mix64(cfg.Seed, 0x1))
+	snet.NeighborScope = true
+	snet.AlwaysReach = []int{cfg.N}
+
+	h := &ShardedHarness{
+		Cfg: cfg, Sh: sh, Net: snet, smap: smap,
+		Worlds:  make([]*world.World, cfg.Shards),
+		objBase: make([]int, cfg.Shards),
+		Pred:    PilotPred(cfg.Pilot, cfg.PilotK),
+	}
+	for k := range h.Worlds {
+		h.Worlds[k] = world.New(sh.Engine(k))
+		h.objBase[k] = -1
+	}
+	if cfg.Trace {
+		h.traces = make([]*trace.Trace, cfg.Shards)
+		for k := range h.traces {
+			h.traces[k] = &trace.Trace{N: cfg.N + 1}
+		}
+	}
+
+	// Sensors, objects and workload streams, all indexed by sensor. Each
+	// sensor's world object lives on its own shard; the per-shard object
+	// id is the sensor's offset from the shard's first sensor.
+	workRoot := stats.NewRNG(mix64(cfg.Seed, 0x2))
+	h.Sensors = make([]*Sensor, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		k := smap.Of(i)
+		if h.objBase[k] < 0 {
+			h.objBase[k] = i
+		}
+		s := &Sensor{
+			ID: i, Kind: DiffVectorStrobe, n: cfg.N,
+			eng: sh.Engine(k), net: snet.Part(k), checkerIdx: cfg.N,
+			vals: make(map[string]float64),
+		}
+		if cfg.DenseClocks {
+			s.dvec = clock.NewDiffStrobeVector(i, cfg.N)
+		} else {
+			s.dvec = clock.NewVectorState(i, cfg.N)
+		}
+		if h.traces != nil {
+			s.tr = h.traces[k]
+		}
+		snet.Register(i, s.onMessage)
+		h.Sensors[i] = s
+
+		w := h.Worlds[k]
+		obj := w.AddObject("o"+strconv.Itoa(i), nil)
+		s.Bind(w, obj, "p", "p")
+		tr := workRoot.Fork() // per-sensor stream: shard-count invariant
+		world.Toggler{
+			Obj: obj, Attr: "p",
+			MeanHigh: cfg.MeanHigh, MeanLow: cfg.MeanLow,
+		}.InstallWith(w, tr, cfg.Horizon)
+	}
+	// Ground truth is scored on the pilot only; shards hosting no pilot
+	// sensor skip logging entirely.
+	for k, w := range h.Worlds {
+		if h.objBase[k] < 0 || h.objBase[k] >= cfg.Pilot {
+			w.DiscardLog()
+		}
+	}
+
+	h.Checker = newStrobeChecker(cfg.N, h.Pred, cfg.RaceAware)
+	h.Checker.SetObs(cfg.Obs)
+	snet.Register(cfg.N, func(m network.Message, now sim.Time) {
+		if strobe, ok := m.Payload.(StrobeMsg); ok {
+			h.Checker.OnStrobe(strobe, now)
+		}
+	})
+
+	if cfg.Obs != nil {
+		cfg.Obs.SetNow("virtual", sh.Now)
+		snet.SetObs(cfg.Obs)
+	}
+	h.installFaults(cfg.Faults)
+	return h
+}
+
+// gridFor lays N sensors on a near-square grid (row-major, matching the
+// contiguous shard map: a shard owns a band of rows).
+func gridFor(n int) network.Topology {
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	rows := (n + cols - 1) / cols
+	if rows*cols != n {
+		// Grid needs an exact fill; fall back to a ring for awkward sizes.
+		return network.Ring{Nodes: n}
+	}
+	return network.Grid{Rows: rows, Cols: cols}
+}
+
+// mix64 derives an independent seed domain (splitmix64 finalizer).
+func mix64(seed, domain uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(domain+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// installFaults schedules crash/recover transitions on each target
+// sensor's own shard. The injector gates the transport everywhere (its
+// state is immutable and its counters atomic, so shards share it).
+func (h *ShardedHarness) installFaults(plan *faults.Plan) {
+	inj := faults.NewInjector(plan)
+	if inj == nil {
+		return
+	}
+	for _, ev := range plan.Events {
+		if ev.Proc < 0 || ev.Proc >= h.Cfg.N {
+			panic(fmt.Sprintf("core: fault plan event targets process %d; crash/recover is limited to sensors 0..%d",
+				ev.Proc, h.Cfg.N-1))
+		}
+	}
+	h.Faults = inj
+	h.Net.SetFaults(inj)
+	crashes := h.Cfg.Obs.Counter("faults.crashes")
+	recoveries := h.Cfg.Obs.Counter("faults.recoveries")
+	for _, ev := range inj.Transitions() {
+		ev := ev
+		s := h.Sensors[ev.Proc]
+		h.Sh.Engine(h.smap.Of(ev.Proc)).At(ev.At, func(now sim.Time) {
+			switch ev.Kind {
+			case faults.Crash:
+				s.Crash()
+				crashes.Inc()
+			case faults.Recover:
+				s.Rejoin()
+				recoveries.Inc()
+			}
+		})
+	}
+}
+
+// Run executes to the horizon, drains in-flight control traffic, and
+// scores against the merged pilot ground truth.
+func (h *ShardedHarness) Run() ShardedResults {
+	horizon := h.Cfg.Horizon
+	h.Sh.Run(horizon)
+	h.Sh.RunAll() // settle in-flight strobes (bounded delay models)
+	h.Checker.Finish(horizon)
+
+	res := ShardedResults{
+		Net:       h.Net.TotalStats(),
+		Horizon:   horizon,
+		Epochs:    h.Sh.Epochs,
+		CrossSent: h.Sh.CrossSent,
+	}
+	res.Occurrences = clipToHorizon(h.Checker.Occurrences(), horizon)
+	res.Markers = h.Checker.Markers()
+	res.Truth = world.TrueIntervals(h.mergedPilotLog(), h.truthPred(), horizon)
+	res.Confusion = Score(res.Occurrences, res.Truth, res.Markers, h.Cfg.Tol, horizon)
+	for _, s := range h.Sensors {
+		res.ClockBytes += int64(s.ClockStateBytes())
+	}
+	return res
+}
+
+// mergedPilotLog merges the per-shard ground-truth logs into one global
+// log over pilot sensors, remapping per-world object ids to global sensor
+// indices. Shard logs are concatenated in shard order and stably sorted by
+// (time, global object): within a key each event set comes from a single
+// shard in its execution order, so the merge is shard-count invariant.
+func (h *ShardedHarness) mergedPilotLog() []world.Event {
+	var out []world.Event
+	for k, w := range h.Worlds {
+		base := h.objBase[k]
+		for _, ev := range w.Log() {
+			g := base + ev.Object
+			if g >= h.Cfg.Pilot {
+				continue
+			}
+			ev.Object = g
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// truthPred adapts the pilot predicate to ground-truth world values: the
+// binding is identity (sensor i senses object i's "p" as variable "p").
+func (h *ShardedHarness) truthPred() world.StatePredicate {
+	pred, n := h.Pred, h.Cfg.N
+	return func(get func(obj int, attr string) float64) bool {
+		return pred.Holds(shardTruthState{n: n, get: get})
+	}
+}
+
+type shardTruthState struct {
+	n   int
+	get func(obj int, attr string) float64
+}
+
+// Get implements predicate.State.
+func (s shardTruthState) Get(proc int, name string) float64 { return s.get(proc, name) }
+
+// NumProcs implements predicate.State.
+func (s shardTruthState) NumProcs() int { return s.n }
+
+// MergedTrace merges the per-shard traces into one deterministic global
+// trace, stably sorted by (time, proc): every proc's records live on
+// exactly one shard in per-proc chronological order, so the result is
+// shard-count invariant. Nil unless Cfg.Trace was set.
+func (h *ShardedHarness) MergedTrace() *trace.Trace {
+	if h.traces == nil {
+		return nil
+	}
+	out := &trace.Trace{N: h.Cfg.N + 1}
+	for _, t := range h.traces {
+		out.Records = append(out.Records, t.Records...)
+	}
+	sort.SliceStable(out.Records, func(i, j int) bool {
+		a, b := out.Records[i], out.Records[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Proc < b.Proc
+	})
+	return out
+}
+
+// CounterLines returns the run's shard-count-invariant counters as sorted
+// "name=value" lines — the differential oracle's observable surface.
+func (h *ShardedHarness) CounterLines() []string {
+	t := h.Net.TotalStats()
+	lines := []string{
+		"net.sent=" + strconv.FormatInt(t.Sent, 10),
+		"net.delivered=" + strconv.FormatInt(t.Delivered, 10),
+		"net.dropped=" + strconv.FormatInt(t.Dropped, 10),
+		"net.bytes=" + strconv.FormatInt(t.Bytes, 10),
+		"checker.applied=" + strconv.FormatInt(h.Checker.Applied, 10),
+		"checker.stale=" + strconv.FormatInt(h.Checker.Stale, 10),
+		"sim.executed=" + strconv.FormatUint(h.Sh.ExecutedTotal(), 10),
+	}
+	for kind, v := range t.ByKind {
+		lines = append(lines, "net.kind."+kind+"="+strconv.FormatInt(v, 10))
+	}
+	if f := h.Faults; f != nil {
+		lines = append(lines,
+			"faults.suppressed="+strconv.FormatInt(f.Counts.SuppressedSends.Load(), 10),
+			"faults.crash_drops="+strconv.FormatInt(f.Counts.CrashDrops.Load(), 10),
+			"faults.partition_drops="+strconv.FormatInt(f.Counts.PartitionDrops.Load(), 10),
+			"faults.duplicates="+strconv.FormatInt(f.Counts.Duplicates.Load(), 10),
+			"faults.reorders="+strconv.FormatInt(f.Counts.Reorders.Load(), 10))
+	}
+	sort.Strings(lines)
+	return lines
+}

@@ -8,7 +8,10 @@ import "testing"
 // flatten-and-aggregate pattern; A4 exercises the pre-drawn shared-RNG
 // pattern (one stream feeding every sweep cell); E13 exercises per-job
 // derived randomness (each job draws its own fault plan from a
-// seed-derived RNG inside the worker).
+// seed-derived RNG inside the worker). E14 exercises the sharded engine:
+// its cells differ in shard count and carry their own internal digest
+// check, so byte-identity here proves the whole (p, shards, parallelism)
+// cube renders one table.
 func TestTablesByteIdenticalAcrossParallelism(t *testing.T) {
 	cases := []struct {
 		name string
@@ -17,6 +20,7 @@ func TestTablesByteIdenticalAcrossParallelism(t *testing.T) {
 		{"E1", E1StrobeAccuracy},
 		{"A4", A4DiffCompression},
 		{"E13", E13CrashChurn},
+		{"E14", E14ScaleSweep},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -107,6 +107,11 @@ type RunConfig struct {
 	// -faults flag). Experiments that sweep fault plans themselves (E13)
 	// ignore it.
 	Faults *faults.Plan
+	// Timing fills measured wall-clock columns in the tables that have
+	// them (E14). Off by default: those cells render "-" so tables stay
+	// byte-identical run to run and across worker counts, which is what
+	// the determinism regression compares.
+	Timing bool
 }
 
 // pick returns quick when cfg.Quick, else full.
@@ -139,6 +144,7 @@ var All = []Experiment{
 	{"E11", "hidden channels defeat causality tracking", E11HiddenChannels},
 	{"E12", "strobes as causal clocks inject false causality", E12FalseCausality},
 	{"E13", "crash/recovery churn sweep", E13CrashChurn},
+	{"E14", "sharded-engine scale sweep", E14ScaleSweep},
 }
 
 // ByID finds an experiment or ablation by its ID (case-insensitive).

@@ -183,6 +183,42 @@ func (m LinkLoss) String() string {
 	return fmt.Sprintf("%v+linkloss(%d↔%d,%.1f%%)", m.Inner, m.A, m.B, 100*m.P)
 }
 
+// LowerBounded is implemented by delay models that can state a minimum
+// possible end-to-end delay. MinDelayBound consults it to compute the
+// sharded engine's conservative lookahead.
+type LowerBounded interface {
+	MinBound() Duration
+}
+
+// MinBound implements LowerBounded: no message beats the uniform floor.
+func (m DeltaBounded) MinBound() Duration { return m.Min }
+
+// MinBound implements LowerBounded: the Pareto scale is the minimum draw.
+func (m HeavyTail) MinBound() Duration { return m.Scale }
+
+// MinBound implements LowerBounded for the loss wrapper: losing messages
+// does not speed up the surviving ones.
+func (m WithLoss) MinBound() Duration { return MinDelayBound(m.Inner) }
+
+// MinBound implements LowerBounded for the windowed-loss wrapper.
+func (m LossWindow) MinBound() Duration { return MinDelayBound(m.Inner) }
+
+// MinBound implements LowerBounded for the link-loss wrapper.
+func (m LinkLoss) MinBound() Duration { return MinDelayBound(m.Inner) }
+
+// MinDelayBound returns the minimum delay any message can experience under
+// m — the conservative lookahead L for a sharded run: a message sent at
+// time t cannot arrive before t+L, so shards that have all executed up to
+// an epoch boundary E cannot be affected by anything sent in (E-L, E]
+// until after E. Models that state no lower bound (Synchronous's Δ=0,
+// Unbounded's exponential) report 0, which restricts them to S=1.
+func MinDelayBound(m DelayModel) Duration {
+	if lb, ok := m.(LowerBounded); ok {
+		return lb.MinBound()
+	}
+	return 0
+}
+
 // TimedSampler is implemented by delay models whose drop decision depends
 // on the send time.
 type TimedSampler interface {

@@ -14,7 +14,8 @@ type Handler func(now Time)
 // slot's reuse (a stale Timer sees a newer gen and becomes inert).
 type scheduled struct {
 	at   Time
-	seq  uint64 // FIFO tie-break for equal timestamps
+	pri  uint64 // caller-supplied tie-break key, ahead of seq (see AtPri)
+	seq  uint64 // FIFO tie-break for equal (timestamp, pri)
 	fn   Handler
 	gen  uint32
 	next int32 // free-list link while the slot is free
@@ -98,6 +99,29 @@ func (e *Engine) RNG() *stats.RNG { return e.rng }
 // events awaiting their lazy removal are not counted).
 func (e *Engine) Pending() int { return e.live }
 
+// NextAt returns the timestamp of the earliest live pending event; ok is
+// false when the event list is drained. Used by the sharded engine to skip
+// empty epochs during drain.
+func (e *Engine) NextAt() (at Time, ok bool) {
+	s := e.peek()
+	if s == nilSlot {
+		return 0, false
+	}
+	return e.pool[s].at, true
+}
+
+// AdvanceTo moves virtual time forward to t without executing events. It is
+// the epoch-barrier hook for the sharded engine: after a shard runs to an
+// epoch end its clock is pinned there even if its own event list drained
+// earlier, so cross-shard deliveries staged for the next epoch can never
+// look like scheduling into the past. Moving backward panics.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo into the past (%v < %v)", t, e.now))
+	}
+	e.now = t
+}
+
 // alloc takes a slot from the free list, or grows the pool.
 func (e *Engine) alloc() int32 {
 	if s := e.freeHead; s != nilSlot {
@@ -118,10 +142,16 @@ func (e *Engine) release(s int32) {
 	e.freeHead = s
 }
 
-// less orders heap entries by (time, seq).
+// less orders heap entries by (time, pri, seq).
 func (e *Engine) less(a, b int32) bool {
 	pa, pb := &e.pool[a], &e.pool[b]
-	return pa.at < pb.at || (pa.at == pb.at && pa.seq < pb.seq)
+	if pa.at != pb.at {
+		return pa.at < pb.at
+	}
+	if pa.pri != pb.pri {
+		return pa.pri < pb.pri
+	}
+	return pa.seq < pb.seq
 }
 
 // siftUp restores the 4-ary heap property from leaf i toward the root.
@@ -223,7 +253,18 @@ func (e *Engine) maybeSweep() {
 
 // At schedules fn to run at absolute virtual time at. Scheduling into the
 // past panics: that always indicates a model bug.
-func (e *Engine) At(at Time, fn Handler) Timer {
+func (e *Engine) At(at Time, fn Handler) Timer { return e.AtPri(at, 0, fn) }
+
+// AtPri schedules fn at time at with an explicit priority key: events fire
+// in (at, pri, seq) order. seq is the engine's insertion counter, so it is
+// schedule-order dependent; pri lets callers impose an ordering that does
+// not depend on when the event was inserted. The sharded engine derives
+// pri from (source, per-source send counter), which makes event order at
+// equal timestamps identical whether a delivery was scheduled directly
+// (same shard) or staged through an epoch mailbox (cross shard). Local
+// events keep pri 0 and therefore sort ahead of deliveries at the same
+// instant.
+func (e *Engine) AtPri(at Time, pri uint64, fn Handler) Timer {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
@@ -232,7 +273,7 @@ func (e *Engine) At(at Time, fn Handler) Timer {
 	}
 	s := e.alloc()
 	p := &e.pool[s]
-	p.at, p.seq, p.fn = at, e.seq, fn
+	p.at, p.pri, p.seq, p.fn = at, pri, e.seq, fn
 	e.seq++
 	e.push(s)
 	e.live++

@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"pervasive/internal/stats"
+)
+
+// crossEvent is one cross-shard delivery in flight between epoch barriers.
+// pri carries the sender-derived priority key; seq is stamped at collection
+// time purely to keep the pending heap's order total (transport-issued pri
+// keys are unique, so seq never decides order between real deliveries).
+type crossEvent struct {
+	at  Time
+	pri uint64
+	seq uint64
+	dst int32
+	fn  Handler
+}
+
+// Shards runs S single-threaded Engines in lockstep epochs under
+// conservative synchronization. The epoch length is the lookahead L — the
+// global minimum cross-shard link delay — so a message sent during the
+// epoch (E-L, E] arrives strictly after E and can be exchanged at the
+// barrier without any shard ever seeing an event in its executed past.
+// There are no null messages: the time bound itself is the guarantee.
+//
+// Cross-shard sends are staged in per-source outboxes (single writer: the
+// sending shard) and merged into one pending heap at each barrier in
+// deterministic shard order; delivery into the destination engine orders by
+// (time, pri, seq) exactly as a same-shard AtPri call would, which is what
+// makes results byte-identical at any shard count.
+//
+// With S=1 the barrier machinery short-circuits: Run degenerates to the
+// single engine's Run loop, preserving the original single-heap fast path.
+type Shards struct {
+	engines   []*Engine
+	outboxes  [][]crossEvent
+	pending   []crossEvent // min-heap by (at, pri, seq)
+	lookahead Duration
+	floor     Time // all shards have executed everything at or before floor
+	crossSeq  uint64
+	workers   int
+
+	// Epochs counts barrier rounds; CrossSent counts cross-shard events
+	// staged through mailboxes; MaxInFlight is the pending-heap
+	// high-watermark. Plain fields: they are touched only between epochs,
+	// on the coordinating goroutine.
+	Epochs      uint64
+	CrossSent   uint64
+	MaxInFlight int
+}
+
+// NewShards creates s engines with RNG streams forked deterministically
+// from seed. lookahead must be positive for s > 1; models with a zero
+// minimum delay (Synchronous, Unbounded) cannot be sharded. Note the
+// determinism contract: model code must not draw from the shard engines'
+// RNGs — those streams depend on the partitioning. Per-entity streams
+// forked from a workload root are the shard-count-independent replacement.
+func NewShards(s int, lookahead Duration, seed uint64) *Shards {
+	if s < 1 {
+		panic("sim: NewShards needs at least one shard")
+	}
+	if s > 1 && lookahead <= 0 {
+		panic("sim: sharded run requires a positive minimum cross-shard delay (lookahead)")
+	}
+	root := stats.NewRNG(seed)
+	sh := &Shards{
+		engines:   make([]*Engine, s),
+		outboxes:  make([][]crossEvent, s),
+		lookahead: lookahead,
+		workers:   1,
+	}
+	for k := range sh.engines {
+		sh.engines[k] = NewEngine(root.Uint64())
+	}
+	return sh
+}
+
+// N returns the shard count.
+func (sh *Shards) N() int { return len(sh.engines) }
+
+// Engine returns shard k's event engine.
+func (sh *Shards) Engine(k int) *Engine { return sh.engines[k] }
+
+// Lookahead returns the epoch length L.
+func (sh *Shards) Lookahead() Duration { return sh.lookahead }
+
+// Now returns the global time floor: every shard has executed all events
+// at or before it.
+func (sh *Shards) Now() Time { return sh.floor }
+
+// SetWorkers sets how many shards run concurrently inside an epoch; w <= 1
+// runs them sequentially in shard order. Either way the outcome is
+// identical — shards share no mutable state during an epoch — so this only
+// trades goroutines for wall clock.
+func (sh *Shards) SetWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	sh.workers = w
+}
+
+// CrossFrom stages a delivery from shard src into shard dst at time at with
+// priority key pri. It must be called either from src's goroutine during an
+// epoch or from the coordinating goroutine between runs (setup).
+func (sh *Shards) CrossFrom(src, dst int, at Time, pri uint64, fn Handler) {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	sh.outboxes[src] = append(sh.outboxes[src], crossEvent{at: at, pri: pri, dst: int32(dst), fn: fn})
+}
+
+// crossLess orders pending cross events by (at, pri, seq).
+func crossLess(a, b crossEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
+}
+
+func (sh *Shards) pendingPush(ev crossEvent) {
+	h := append(sh.pending, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !crossLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	sh.pending = h
+	if len(h) > sh.MaxInFlight {
+		sh.MaxInFlight = len(h)
+	}
+}
+
+func (sh *Shards) pendingPop() crossEvent {
+	h := sh.pending
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = crossEvent{} // drop the fn reference
+	h = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && crossLess(h[c+1], h[c]) {
+			c++
+		}
+		if !crossLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	sh.pending = h
+	return top
+}
+
+// collect drains every outbox into the pending heap, in shard order. An
+// event already at or before the floor means a sender beat the lookahead —
+// the conservative-synchronization invariant is broken — so it panics
+// rather than silently reordering history.
+func (sh *Shards) collect() {
+	for k := range sh.outboxes {
+		for _, ev := range sh.outboxes[k] {
+			if ev.at <= sh.floor && !(sh.floor == 0 && ev.at == 0) {
+				panic(fmt.Sprintf("sim: cross-shard event at %v violates lookahead (floor %v)", ev.at, sh.floor))
+			}
+			ev.seq = sh.crossSeq
+			sh.crossSeq++
+			sh.pendingPush(ev)
+			sh.CrossSent++
+		}
+		sh.outboxes[k] = sh.outboxes[k][:0]
+	}
+}
+
+// deliver schedules every pending cross event with at <= end into its
+// destination engine.
+func (sh *Shards) deliver(end Time) {
+	for len(sh.pending) > 0 && sh.pending[0].at <= end {
+		ev := sh.pendingPop()
+		sh.engines[ev.dst].AtPri(ev.at, ev.pri, ev.fn)
+	}
+}
+
+// idle reports whether no work remains anywhere: outboxes must already be
+// collected.
+func (sh *Shards) idle() bool {
+	if len(sh.pending) > 0 {
+		return false
+	}
+	for _, e := range sh.engines {
+		if e.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// nextEventAt returns the earliest event time across all engines and the
+// pending heap. Call only when not idle.
+func (sh *Shards) nextEventAt() Time {
+	min := Never
+	for _, e := range sh.engines {
+		if at, ok := e.NextAt(); ok && at < min {
+			min = at
+		}
+	}
+	if len(sh.pending) > 0 && sh.pending[0].at < min {
+		min = sh.pending[0].at
+	}
+	return min
+}
+
+// runEpoch executes every shard up to end. With workers > 1 shards run on
+// their own goroutines; they share no mutable state during the epoch
+// (outboxes are single-writer), so the join is the only synchronization.
+func (sh *Shards) runEpoch(end Time) {
+	if sh.workers > 1 && len(sh.engines) > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(sh.engines))
+		for _, e := range sh.engines {
+			go func(e *Engine) {
+				defer wg.Done()
+				e.Run(end)
+				if e.Now() < end {
+					e.AdvanceTo(end)
+				}
+			}(e)
+		}
+		wg.Wait()
+	} else {
+		for _, e := range sh.engines {
+			e.Run(end)
+			if e.Now() < end {
+				e.AdvanceTo(end)
+			}
+		}
+	}
+	sh.Epochs++
+}
+
+// Run advances the whole sharded world to until (events exactly at until
+// still run, matching Engine.Run) and returns the global floor at exit. It
+// returns early when every event list and mailbox drains.
+func (sh *Shards) Run(until Time) Time {
+	if len(sh.engines) == 1 {
+		// Single-heap fast path: no barriers, no epoch slicing. Setup-time
+		// cross events (src==dst==0) still drain through the mailbox so
+		// the S=1 path exercises the same staging API.
+		sh.collect()
+		sh.deliver(until)
+		e := sh.engines[0]
+		e.Run(until)
+		sh.floor = e.Now()
+		return sh.floor
+	}
+	for sh.floor < until {
+		sh.collect()
+		if sh.idle() {
+			break
+		}
+		end := sh.floor + sh.lookahead
+		if end < sh.floor { // overflow near Never
+			end = until
+		}
+		// Skip-ahead: if nothing anywhere fires before next, the window
+		// (floor, next] is safe — anything sent at t >= next lands at or
+		// after next+L, strictly past the barrier.
+		if next := sh.nextEventAt(); next > end {
+			end = next
+		}
+		if end > until {
+			end = until
+		}
+		sh.deliver(end)
+		sh.runEpoch(end)
+		sh.floor = end
+	}
+	return sh.floor
+}
+
+// RunAll runs until every event list and cross-shard mailbox is empty. Use
+// with workloads that are guaranteed to terminate.
+func (sh *Shards) RunAll() Time { return sh.Run(Never) }
+
+// ExecutedTotal sums handler executions across shards; the total is
+// shard-count-invariant for a deterministic model.
+func (sh *Shards) ExecutedTotal() uint64 {
+	var n uint64
+	for _, e := range sh.engines {
+		n += e.Executed
+	}
+	return n
+}

@@ -43,7 +43,15 @@ type Toggler struct {
 // Install starts the toggler on w until the horizon. The attribute starts
 // low and first rises after an exponential low dwell.
 func (tg Toggler) Install(w *World, horizon sim.Time) {
-	r := w.rng.Fork()
+	tg.InstallWith(w, w.rng.Fork(), horizon)
+}
+
+// InstallWith is Install with an explicit random stream. Sharded runs use
+// it with per-sensor streams forked from a workload root: the world's own
+// RNG is forked from its shard's engine, so its draw order depends on the
+// partitioning, while an explicit per-entity stream is shard-count
+// invariant.
+func (tg Toggler) InstallWith(w *World, r *stats.RNG, horizon sim.Time) {
 	var flip func(now sim.Time)
 	flip = func(now sim.Time) {
 		cur := w.Get(tg.Obj, tg.Attr)

@@ -60,6 +60,7 @@ type World struct {
 	rng       *stats.RNG
 	objects   []*Object
 	log       []Event
+	discard   bool
 	listeners map[AttrKey][]Listener
 	all       []Listener
 	rules     []CovertRule
@@ -117,7 +118,9 @@ func (w *World) set(obj int, attr string, v float64, cause int) {
 		Seq: len(w.log), At: w.eng.Now(),
 		Object: obj, Attr: attr, Old: old, New: v, Cause: cause,
 	}
-	w.log = append(w.log, ev)
+	if !w.discard {
+		w.log = append(w.log, ev)
+	}
 	w.fire(ev)
 	w.applyRules(ev)
 }
@@ -146,6 +149,13 @@ func (w *World) SubscribeAll(l Listener) { w.all = append(w.all, l) }
 // Log returns the ground-truth event log so far. The returned slice is the
 // live log; callers must not modify it.
 func (w *World) Log() []Event { return w.log }
+
+// DiscardLog stops recording ground-truth events from now on; listeners
+// still fire. Sharded scale runs call it on shards whose objects are
+// outside the scored pilot set, so ground-truth memory tracks the pilot,
+// not the fleet. Event.Seq/Cause bookkeeping stops with the log, so worlds
+// with covert rules should keep logging.
+func (w *World) DiscardLog() { w.discard = true }
 
 // CovertRule is an edge of the covert-channel overlay C: when SrcObj.SrcAttr
 // changes, then with probability Prob, after a Delay drawn in microseconds,
