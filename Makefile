@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race-live bench-obs bench-obs-smoke bench-kernel bench-lattice bench-faults bench-shard bench
+.PHONY: check build vet lint test race-live bench-obs bench-obs-smoke bench-kernel bench-lattice bench-faults bench-shard bench-checker bench
 
 check: build vet lint bench-obs-smoke
 	$(GO) test -race ./...
@@ -13,6 +13,8 @@ check: build vet lint bench-obs-smoke
 	$(GO) test -race -run 'TestLiveOverload|TestLiveCrashRecovery|TestLiveRecoveryDrainsMailbox' ./internal/live/
 	$(GO) test -race ./internal/faults/ ./internal/network/ -run 'Fault|Crash|Partition|Duplicate|Reorder|FloodDedup'
 	$(GO) test -race -run 'TestShard|TestSharded|TestAtPri' ./internal/sim/ ./internal/core/
+	$(GO) test -race -run 'TestCheckerTree' ./internal/core/
+	$(GO) test -race ./internal/checker/
 
 build:
 	$(GO) build ./...
@@ -71,6 +73,14 @@ bench-faults:
 # O(p^2)-per-strobe race scan would take ~45 minutes at p=10240).
 bench-shard:
 	$(GO) run ./cmd/benchshard -o BENCH_shard.json
+
+# Checker-tree scale numbers (flat StrobeChecker vs the hierarchical
+# checker tree on an aggregate predicate, fan-out sweep, per-aggregator
+# memory bound); rewrites the recorded BENCH_checker.json. Takes ~5s:
+# the flat checker's O(p)-per-report evaluation is measured directly
+# through p=16384.
+bench-checker:
+	$(GO) run ./cmd/benchchecker -o BENCH_checker.json
 
 bench: bench-lattice
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -365,7 +365,7 @@ type (
 	ExperimentConfig = experiments.RunConfig
 )
 
-// Experiments lists E1–E12 in order.
+// Experiments lists E1–E15 in order.
 func Experiments() []Experiment { return experiments.All }
 
 // Ablations lists the A-series design-choice ablations.

@@ -121,9 +121,24 @@ func cpuModel() string {
 }
 
 func main() {
+	// All flags are parsed and validated exactly once, up front: a zero or
+	// negative shard/worker count used to surface as a panic deep inside
+	// the first scale point; now it is a clear usage error before any
+	// measurement starts.
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	maxP := flag.Int("maxp", 65536, "fleet size for the max-p row")
+	maxPShards := flag.Int("shards", 8, "shard count for the max-p row")
+	maxPWorkers := flag.Int("workers", 8, "worker goroutines for the max-p row")
 	flag.Parse()
+	if *maxP <= 0 {
+		usageError("-maxp must be positive, got %d", *maxP)
+	}
+	if *maxPShards <= 0 || *maxPShards > *maxP {
+		usageError("-shards must be in [1, maxp], got %d", *maxPShards)
+	}
+	if *maxPWorkers <= 0 {
+		usageError("-workers must be positive, got %d", *maxPWorkers)
+	}
 
 	const horizon = 2 * sim.Second
 	const bigP = 10240
@@ -217,10 +232,10 @@ func main() {
 	r.SpeedupPass = r.SpeedupAt10KMeasured >= 2
 
 	{
-		res, _, wall := run(*maxP, 8, 8, false, false, horizon)
+		res, _, wall := run(*maxP, *maxPShards, *maxPWorkers, false, false, horizon)
 		p := int64(*maxP)
 		r.MaxP = maxPRow{
-			P: *maxP, Shards: 8, WallMs: wall,
+			P: *maxP, Shards: *maxPShards, WallMs: wall,
 			ClockBytes: res.ClockBytes, Recall: res.Confusion.Recall(),
 			DenseProjectionBytes: p * (16 + 8*2*(p+1)),
 		}
@@ -264,6 +279,12 @@ func main() {
 	fmt.Printf("wrote %s (p=10240: %.1fx vs dense measured, %.0fx vs legacy projected; identical=%v; sublinear %.3f; max p=%d in %.0fms)\n",
 		*out, r.SpeedupAt10KMeasured, r.SpeedupAt10KLegacy,
 		r.IdenticalAcrossShards, r.SublinearRatio, r.MaxP.P, r.MaxP.WallMs)
+}
+
+func usageError(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, "benchshard: "+format+"\n", a...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func maxI64(a, b int64) int64 {

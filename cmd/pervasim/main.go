@@ -61,6 +61,7 @@ func main() {
 		shards      = flag.Int("shards", 1, "scale: spatial shard count for the parallel kernel")
 		workers     = flag.Int("workers", 1, "scale: intra-epoch worker goroutines (output identical at any setting)")
 		denseClocks = flag.Bool("dense-clocks", false, "scale: force dense vector clocks (sparse by density otherwise)")
+		checkerFan  = flag.Int("checker-fanout", 0, "scale: regional checker-tree aggregators (<=1 runs the flat checker)")
 	)
 	flag.Parse()
 
@@ -111,6 +112,9 @@ func main() {
 	if *shards > 1 && *scen != "scale" {
 		fatal(fmt.Errorf("-shards applies only to -scenario scale; the classic scenarios run on the single-heap kernel"))
 	}
+	if *checkerFan > 1 && *scen != "scale" {
+		fatal(fmt.Errorf("-checker-fanout applies only to -scenario scale; the classic scenarios keep the flat checker"))
+	}
 
 	var (
 		res   core.Results
@@ -122,7 +126,8 @@ func main() {
 		sc := scenario.NewScale(scenario.ScaleConfig{
 			Seed: *seed, N: *sensors, Shards: *shards, Workers: *workers,
 			Delay: delay, Horizon: hz, DenseClocks: *denseClocks,
-			Faults: plan, Obs: reg,
+			CheckerFanout: *checkerFan,
+			Faults:        plan, Obs: reg,
 		})
 		sr := sc.Run()
 		res = core.Results{
@@ -131,6 +136,11 @@ func main() {
 		}
 		extra = fmt.Sprintf("fleet: %d sensors over %d shard(s), %d epochs, %d cross-shard msgs, %.1f KB clock state",
 			*sensors, *shards, sr.Epochs, sr.CrossSent, float64(sr.ClockBytes)/1024)
+		if tree := sc.Harness.Tree; tree != nil {
+			extra += fmt.Sprintf("\nchecker tree: %d regions, %d batches (%d triples, %d coalesced), %.1f KB sync wire",
+				tree.Fanout(), tree.Stat.Batches, tree.Stat.BatchTriples,
+				tree.Stat.Coalesced, float64(tree.Stat.WireBytes)/1024)
+		}
 	case "hall":
 		cfg := scenario.HallConfig{
 			Seed: *seed, Doors: *doors, Capacity: *capacity,

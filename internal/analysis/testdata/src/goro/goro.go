@@ -74,6 +74,34 @@ func EpochWorkers(parts [][]int) {
 	wg.Wait()
 }
 
+// FeedRoot is the checker-tree forwarding shape done wrong: a regional
+// aggregator worker pushing flushed batches to the root over a bare
+// channel. A stalled root (saturated, or the run already finished)
+// parks one goroutine per region forever.
+func FeedRoot(batches chan []byte, flushed [][]byte) {
+	for _, b := range flushed {
+		b := b
+		go func() {
+			batches <- b // want `blocking channel send in go closure`
+		}()
+	}
+}
+
+// FeedRootGuarded is the accepted aggregator worker shape: the upward
+// send carries a shutdown case, so a finished run drains instead of
+// leaking. Not flagged.
+func FeedRootGuarded(batches chan []byte, done chan struct{}, flushed [][]byte) {
+	for _, b := range flushed {
+		b := b
+		go func() {
+			select {
+			case batches <- b:
+			case <-done:
+			}
+		}()
+	}
+}
+
 // waitGroup mirrors sync.WaitGroup's surface so the fixture stays
 // dependency-free under the test loader.
 type waitGroup struct{ n int }

@@ -1,0 +1,62 @@
+package checker
+
+import (
+	"pervasive/internal/clock"
+	"pervasive/internal/sim"
+)
+
+// Report is one sensor strobe report as seen by the checker tree — the
+// payload of core.StrobeMsg without the transport envelope, so the tree
+// package stays independent of the engine/transport layers.
+type Report struct {
+	Proc int
+	Seq  int // per-process sense event counter (1-based)
+	// Epoch is bumped each time the sender recovers from a crash.
+	Epoch int
+	Var   string
+	Value float64
+	// Vec is the full strobe vector stamp (vector protocol).
+	Vec clock.Vector
+	// Scalar is the strobe scalar stamp (scalar protocol).
+	Scalar uint64
+	// Sparse is the differential strobe payload: only the components
+	// changed since the sender's previous broadcast.
+	Sparse clock.SparseStamp
+}
+
+// OwnClock extracts the sender's own clock component — the value the
+// emitting SVC1/SSC1 tick stamped on this report, and the `val` of the
+// batched (proc, val, sent) sync triple.
+func (m Report) OwnClock() uint64 {
+	switch {
+	case m.Vec != nil:
+		if m.Proc >= 0 && m.Proc < len(m.Vec) {
+			return m.Vec[m.Proc]
+		}
+	case m.Sparse != nil:
+		for _, e := range m.Sparse {
+			if e.Proc == m.Proc {
+				return e.Val
+			}
+		}
+	default:
+		return m.Scalar
+	}
+	return 0
+}
+
+// FlightStamp implements flight.Stamped (same identity the transport
+// message carries, so tree and flat checker dumps line up).
+func (m Report) FlightStamp() (epoch, seq int, clk uint64) {
+	return m.Epoch, m.Seq, m.OwnClock()
+}
+
+// Occurrence is one detected period during which the tree's view
+// satisfied the predicate; it mirrors core.Occurrence (the package split
+// keeps checker below core in the import graph).
+type Occurrence struct {
+	Start, End sim.Time
+	// Borderline marks an occurrence whose opening flip was
+	// race-ambiguous (Section 5's borderline bin).
+	Borderline bool
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pervasive/internal/checker"
 	"pervasive/internal/clock"
 	"pervasive/internal/faults"
 	"pervasive/internal/network"
@@ -54,6 +55,13 @@ type ShardedConfig struct {
 	// (O(N) memory per active sender — O(N²) worst case). Off by default
 	// for scale runs; the differential oracle covers both settings.
 	RaceAware bool
+	// CheckerFanout selects the detection architecture: <= 1 keeps the
+	// flat StrobeChecker (the R=1 fast path and differential oracle);
+	// >= 2 builds a checker tree of that many regional aggregators
+	// (internal/checker) with batched upward sync. Detection output is
+	// byte-identical either way; the tree bounds per-node state and
+	// makes per-report work O(1) in the fleet size.
+	CheckerFanout int
 	// DenseClocks forces dense vector state regardless of fleet size (the
 	// single-heap-era baseline the benches compare against); otherwise
 	// clock.NewVectorState picks by density.
@@ -74,7 +82,10 @@ type ShardedHarness struct {
 	Net     *network.ShardedNet
 	Worlds  []*world.World // one per shard
 	Sensors []*Sensor
+	// Checker is the flat P0 (CheckerFanout <= 1); Tree the hierarchical
+	// checker (CheckerFanout >= 2). Exactly one is non-nil.
 	Checker *StrobeChecker
+	Tree    *checker.Tree
 	Faults  *faults.Injector
 	Pred    predicate.Cond
 
@@ -221,13 +232,27 @@ func NewShardedHarness(cfg ShardedConfig) *ShardedHarness {
 		}
 	}
 
-	h.Checker = newStrobeChecker(cfg.N, h.Pred, cfg.RaceAware)
-	h.Checker.SetObs(cfg.Obs)
-	snet.Register(cfg.N, func(m network.Message, now sim.Time) {
-		if strobe, ok := m.Payload.(StrobeMsg); ok {
-			h.Checker.OnStrobe(strobe, now)
-		}
-	})
+	if cfg.CheckerFanout >= 2 {
+		h.Tree = checker.New(checker.Config{
+			N: cfg.N, Pred: h.Pred, Fanout: cfg.CheckerFanout,
+			RaceAware:     cfg.RaceAware,
+			BatchInterval: look,
+		})
+		h.Tree.SetObs(cfg.Obs)
+		snet.Register(cfg.N, func(m network.Message, now sim.Time) {
+			if strobe, ok := m.Payload.(StrobeMsg); ok {
+				h.Tree.OnReport(treeReport(strobe), now)
+			}
+		})
+	} else {
+		h.Checker = newStrobeChecker(cfg.N, h.Pred, cfg.RaceAware)
+		h.Checker.SetObs(cfg.Obs)
+		snet.Register(cfg.N, func(m network.Message, now sim.Time) {
+			if strobe, ok := m.Payload.(StrobeMsg); ok {
+				h.Checker.OnStrobe(strobe, now)
+			}
+		})
+	}
 
 	if cfg.Obs != nil {
 		cfg.Obs.SetNow("virtual", sh.Now)
@@ -235,6 +260,29 @@ func NewShardedHarness(cfg ShardedConfig) *ShardedHarness {
 	}
 	h.installFaults(cfg.Faults)
 	return h
+}
+
+// treeReport strips the transport envelope off a strobe for the checker
+// tree (the checker package sits below core in the import graph).
+func treeReport(m StrobeMsg) checker.Report {
+	return checker.Report{
+		Proc: m.Proc, Seq: m.Seq, Epoch: m.Epoch,
+		Var: m.Var, Value: m.Value,
+		Vec: m.Vec, Scalar: m.Scalar, Sparse: m.Sparse,
+	}
+}
+
+// treeOccurrences converts the tree's occurrences to the core type
+// (nil stays nil so empty runs compare equal across checker shapes).
+func treeOccurrences(occ []checker.Occurrence) []Occurrence {
+	if occ == nil {
+		return nil
+	}
+	out := make([]Occurrence, len(occ))
+	for i, o := range occ {
+		out[i] = Occurrence{Start: o.Start, End: o.End, Borderline: o.Borderline}
+	}
+	return out
 }
 
 // gridFor lays N sensors on a near-square grid (row-major, matching the
@@ -300,7 +348,11 @@ func (h *ShardedHarness) Run() ShardedResults {
 	horizon := h.Cfg.Horizon
 	h.Sh.Run(horizon)
 	h.Sh.RunAll() // settle in-flight strobes (bounded delay models)
-	h.Checker.Finish(horizon)
+	if h.Tree != nil {
+		h.Tree.Finish(horizon)
+	} else {
+		h.Checker.Finish(horizon)
+	}
 
 	res := ShardedResults{
 		Net:       h.Net.TotalStats(),
@@ -308,8 +360,13 @@ func (h *ShardedHarness) Run() ShardedResults {
 		Epochs:    h.Sh.Epochs,
 		CrossSent: h.Sh.CrossSent,
 	}
-	res.Occurrences = clipToHorizon(h.Checker.Occurrences(), horizon)
-	res.Markers = h.Checker.Markers()
+	if h.Tree != nil {
+		res.Occurrences = clipToHorizon(treeOccurrences(h.Tree.Occurrences()), horizon)
+		res.Markers = h.Tree.Markers()
+	} else {
+		res.Occurrences = clipToHorizon(h.Checker.Occurrences(), horizon)
+		res.Markers = h.Checker.Markers()
+	}
 	res.Truth = world.TrueIntervals(h.mergedPilotLog(), h.truthPred(), horizon)
 	res.Confusion = Score(res.Occurrences, res.Truth, res.Markers, h.Cfg.Tol, horizon)
 	for _, s := range h.Sensors {
@@ -391,13 +448,19 @@ func (h *ShardedHarness) MergedTrace() *trace.Trace {
 // "name=value" lines — the differential oracle's observable surface.
 func (h *ShardedHarness) CounterLines() []string {
 	t := h.Net.TotalStats()
+	var applied, stale int64
+	if h.Tree != nil {
+		applied, stale = h.Tree.Stat.Applied, h.Tree.Stat.Stale
+	} else {
+		applied, stale = h.Checker.Applied, h.Checker.Stale
+	}
 	lines := []string{
 		"net.sent=" + strconv.FormatInt(t.Sent, 10),
 		"net.delivered=" + strconv.FormatInt(t.Delivered, 10),
 		"net.dropped=" + strconv.FormatInt(t.Dropped, 10),
 		"net.bytes=" + strconv.FormatInt(t.Bytes, 10),
-		"checker.applied=" + strconv.FormatInt(h.Checker.Applied, 10),
-		"checker.stale=" + strconv.FormatInt(h.Checker.Stale, 10),
+		"checker.applied=" + strconv.FormatInt(applied, 10),
+		"checker.stale=" + strconv.FormatInt(stale, 10),
 		"sim.executed=" + strconv.FormatUint(h.Sh.ExecutedTotal(), 10),
 	}
 	for kind, v := range t.ByKind {

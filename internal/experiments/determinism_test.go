@@ -11,7 +11,10 @@ import "testing"
 // seed-derived RNG inside the worker). E14 exercises the sharded engine:
 // its cells differ in shard count and carry their own internal digest
 // check, so byte-identity here proves the whole (p, shards, parallelism)
-// cube renders one table.
+// cube renders one table. E15 exercises the checker tree: its cells
+// differ in fan-out and carry a digest check against the flat-checker
+// baseline, so byte-identity here pins tree detection across both
+// parallelism and fan-out.
 func TestTablesByteIdenticalAcrossParallelism(t *testing.T) {
 	cases := []struct {
 		name string
@@ -21,6 +24,7 @@ func TestTablesByteIdenticalAcrossParallelism(t *testing.T) {
 		{"A4", A4DiffCompression},
 		{"E13", E13CrashChurn},
 		{"E14", E14ScaleSweep},
+		{"E15", E15CheckerTree},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

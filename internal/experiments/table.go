@@ -1,5 +1,5 @@
 // Package experiments regenerates every quantitative claim of the paper
-// as a numbered experiment (E1–E13; see DESIGN.md for the claim-to-
+// as a numbered experiment (E1–E15; see DESIGN.md for the claim-to-
 // experiment mapping). Each experiment is a pure function from a run
 // configuration to a printable table; cmd/experiments and the root
 // benchmark suite share these implementations.
@@ -145,6 +145,7 @@ var All = []Experiment{
 	{"E12", "strobes as causal clocks inject false causality", E12FalseCausality},
 	{"E13", "crash/recovery churn sweep", E13CrashChurn},
 	{"E14", "sharded-engine scale sweep", E14ScaleSweep},
+	{"E15", "checker-tree fan-out sweep", E15CheckerTree},
 }
 
 // ByID finds an experiment or ablation by its ID (case-insensitive).

@@ -32,9 +32,13 @@ type ScaleConfig struct {
 	// DenseClocks forces dense vector state at every size (the baseline
 	// the benchmarks compare sparse state against).
 	DenseClocks bool
-	Faults      *faults.Plan
-	Obs         *obs.Registry
-	Trace       bool
+	// CheckerFanout >= 2 routes detection through the hierarchical
+	// checker tree with that many regional aggregators; <= 1 keeps the
+	// flat checker (the differential oracle).
+	CheckerFanout int
+	Faults        *faults.Plan
+	Obs           *obs.Registry
+	Trace         bool
 }
 
 // Scale is a wired sharded fleet scenario.
@@ -62,7 +66,8 @@ func NewScale(cfg ScaleConfig) *Scale {
 		// workload balance E14 sweeps).
 		MeanHigh: 1200 * sim.Millisecond, MeanLow: 400 * sim.Millisecond,
 		RaceAware: cfg.RaceAware, DenseClocks: cfg.DenseClocks,
-		Faults: cfg.Faults, Obs: cfg.Obs, Trace: cfg.Trace,
+		CheckerFanout: cfg.CheckerFanout,
+		Faults:        cfg.Faults, Obs: cfg.Obs, Trace: cfg.Trace,
 	})
 	return &Scale{Cfg: cfg, Harness: h}
 }
