@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race-live bench-obs bench-obs-smoke bench-kernel bench-lattice bench-faults bench-shard bench-checker bench
+.PHONY: check build vet lint test race-live bench-obs bench-obs-smoke bench-kernel bench-lattice bench-faults bench-shard bench-checker bench-workload bench
 
 check: build vet lint bench-obs-smoke
 	$(GO) test -race ./...
@@ -15,6 +15,8 @@ check: build vet lint bench-obs-smoke
 	$(GO) test -race -run 'TestShard|TestSharded|TestAtPri' ./internal/sim/ ./internal/core/
 	$(GO) test -race -run 'TestCheckerTree' ./internal/core/
 	$(GO) test -race ./internal/checker/
+	$(GO) test -race ./internal/workload/
+	$(GO) test -race -run 'RecordReplay|TestLiveReplayMatchesTrace' ./internal/scenario/ ./internal/live/
 
 build:
 	$(GO) build ./...
@@ -81,6 +83,13 @@ bench-shard:
 # through p=16384.
 bench-checker:
 	$(GO) run ./cmd/benchchecker -o BENCH_checker.json
+
+# Workload-layer numbers (statistical generator throughput, trace-codec
+# bandwidth and bytes/event, record->replay overhead); rewrites the
+# recorded BENCH_workload.json. Every row doubles as a round-trip or
+# replay-identity check.
+bench-workload:
+	$(GO) run ./cmd/benchworkload -o BENCH_workload.json
 
 bench: bench-lattice
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

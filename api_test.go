@@ -44,8 +44,8 @@ func TestFacadeScenarios(t *testing.T) {
 }
 
 func TestFacadeExperiments(t *testing.T) {
-	if len(Experiments()) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(Experiments()))
 	}
 	tbl, ok := RunExperiment("E4", ExperimentConfig{Seed: 1, Quick: true})
 	if !ok || tbl == nil || len(tbl.Rows) == 0 {

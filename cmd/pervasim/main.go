@@ -14,6 +14,9 @@
 //	pervasim -scenario hall -faults 'crash(1,20s);recover(1,40s)'
 //	pervasim -scenario hall -flight dumps/    # flight-recorder dumps (JSONL)
 //	pervasim -scenario hall -pprof localhost:6060
+//	pervasim -scenario hall -record run.pvwl  # record the workload trace
+//	pervasim -scenario hall -replay run.pvwl  # replay it byte-identically
+//	pervasim -workload spec.txt               # compose generators from a spec
 package main
 
 import (
@@ -35,6 +38,7 @@ import (
 	"pervasive/internal/scenario"
 	"pervasive/internal/sim"
 	"pervasive/internal/trace"
+	"pervasive/internal/workload"
 )
 
 func main() {
@@ -62,6 +66,9 @@ func main() {
 		workers     = flag.Int("workers", 1, "scale: intra-epoch worker goroutines (output identical at any setting)")
 		denseClocks = flag.Bool("dense-clocks", false, "scale: force dense vector clocks (sparse by density otherwise)")
 		checkerFan  = flag.Int("checker-fanout", 0, "scale: regional checker-tree aggregators (<=1 runs the flat checker)")
+		specPath    = flag.String("workload", "", "run a workload spec file on the generic spec scenario (replaces -scenario)")
+		recordPath  = flag.String("record", "", "record the run's workload to this trace file (hall, hospital, scale, spec)")
+		replayPath  = flag.String("replay", "", "replay a recorded workload trace; its horizon replaces -horizon")
 	)
 	flag.Parse()
 
@@ -109,26 +116,90 @@ func main() {
 		reg = obs.NewRegistry()
 	}
 
-	if *shards > 1 && *scen != "scale" {
-		fatal(fmt.Errorf("-shards applies only to -scenario scale; the classic scenarios run on the single-heap kernel"))
+	// Scenario-scoped flags fail loudly when set for the wrong scenario:
+	// a silently ignored -sensors or -doors reads as a run that honored
+	// it. flag.Visit only sees flags the user actually set, so defaults
+	// never trip this.
+	effScen := *scen
+	if *specPath != "" {
+		effScen = "spec"
 	}
-	if *checkerFan > 1 && *scen != "scale" {
-		fatal(fmt.Errorf("-checker-fanout applies only to -scenario scale; the classic scenarios keep the flat checker"))
+	scoped := map[string]string{
+		"sensors": "scale", "shards": "scale", "workers": "scale",
+		"dense-clocks": "scale", "checker-fanout": "scale",
+		"doors": "hall", "capacity": "hall", "initial": "hall", "trace": "hall",
+		"modality": "office", "alarm": "hospital",
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if effScen == "spec" && f.Name == "scenario" {
+			fatal(fmt.Errorf("-workload replaces -scenario; drop -scenario %s", *scen))
+		}
+		if want, ok := scoped[f.Name]; ok && effScen != want {
+			fatal(fmt.Errorf("-%s applies only to -scenario %s (running %s)", f.Name, want, effScen))
+		}
+	})
+
+	var replaySrc workload.Source
+	if *replayPath != "" {
+		rt, err := workload.ReadFile(*replayPath)
+		if err != nil {
+			fatal(fmt.Errorf("-replay: %w", err))
+		}
+		if m := rt.Meta["scenario"]; m != "" && m != effScen {
+			fatal(fmt.Errorf("-replay: trace was recorded from scenario %q, running %q", m, effScen))
+		}
+		replaySrc = workload.EventSource(rt.Events)
+		hz = rt.Horizon // byte-identity needs the recorded horizon
+	}
+
+	switch effScen {
+	case "hall", "hospital", "scale", "spec":
+	default:
+		if *replayPath != "" || *recordPath != "" {
+			fatal(fmt.Errorf("-record/-replay support hall, hospital, scale and -workload runs; scenario %s has no materialized workload", effScen))
+		}
 	}
 
 	var (
 		res   core.Results
 		extra string
 		tr    *trace.Trace
+		// recorded is the run's materialized workload (scenarios that
+		// expose one), written out when -record is set.
+		recorded []workload.Event
+		recSeed  = *seed
 	)
-	switch *scen {
+	switch effScen {
+	case "spec":
+		sp, err := workload.ParseSpecFile(*specPath)
+		if err != nil {
+			fatal(fmt.Errorf("-workload: %w", err))
+		}
+		if *replayPath == "" {
+			hz = sp.Horizon
+		} else {
+			sp.Horizon = hz
+		}
+		sr, err := scenario.NewSpecRun(scenario.SpecConfig{
+			Spec: sp, Workload: replaySrc, Kind: kind, Delay: delay,
+			Epsilon: dur(*epsilon), Obs: reg, FlightPerProc: perProc,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		installFaults(sr.Harness)
+		res = sr.Run()
+		recorded, recSeed = sr.Events, sp.Seed
+		extra = fmt.Sprintf("spec: %s — %d generators over %d objects, %d workload events\npredicate: %s",
+			*specPath, len(sp.Gens), len(sr.Objects), len(sr.Events), sp.Predicate)
 	case "scale":
 		sc := scenario.NewScale(scenario.ScaleConfig{
 			Seed: *seed, N: *sensors, Shards: *shards, Workers: *workers,
 			Delay: delay, Horizon: hz, DenseClocks: *denseClocks,
-			CheckerFanout: *checkerFan,
-			Faults:        plan, Obs: reg,
+			CheckerFanout: *checkerFan, Workload: replaySrc,
+			Faults: plan, Obs: reg,
 		})
+		recorded = sc.Harness.Events
 		sr := sc.Run()
 		res = core.Results{
 			Occurrences: sr.Occurrences, Markers: sr.Markers, Truth: sr.Truth,
@@ -146,12 +217,14 @@ func main() {
 			Seed: *seed, Doors: *doors, Capacity: *capacity,
 			InitialOccupancy: *initial, Kind: kind, Delay: delay,
 			Epsilon: dur(*epsilon), Horizon: hz, Obs: reg, FlightPerProc: perProc,
+			Workload: replaySrc,
 		}
 		if *tracePath != "" {
 			tr = trace.New(*doors)
 			cfg.Trace = tr
 		}
 		hl := scenario.NewHall(cfg)
+		recorded = hl.Events
 		installFaults(hl.Harness)
 		res = hl.Run()
 		extra = fmt.Sprintf("predicate: %s", scenario.OccupancyPredicate(*capacity))
@@ -166,8 +239,9 @@ func main() {
 	case "hospital":
 		hp := scenario.NewHospital(scenario.HospitalConfig{
 			Seed: *seed, Alarm: *alarm, Kind: kind, Delay: delay, Horizon: hz,
-			Obs: reg, FlightPerProc: perProc,
+			Obs: reg, FlightPerProc: perProc, Workload: replaySrc,
 		})
+		recorded = hp.Events
 		installFaults(hp.Harness)
 		res = hp.Run()
 		extra = fmt.Sprintf("alarm: %s, raised: %d", *alarm, hp.Alarms)
@@ -191,7 +265,7 @@ func main() {
 	}
 
 	fmt.Printf("scenario: %s  clocks: %v  Δ: %v  seed: %d  horizon: %v\n",
-		*scen, kind, *delta, *seed, *horizon)
+		effScen, kind, *delta, recSeed, hz)
 	if extra != "" {
 		fmt.Println(extra)
 	}
@@ -244,6 +318,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace: %d records written to %s\n", tr.Len(), *tracePath)
+	}
+
+	if *recordPath != "" {
+		wt := &workload.Trace{
+			Horizon: hz,
+			Meta: map[string]string{
+				"scenario": effScen,
+				"seed":     fmt.Sprint(recSeed),
+			},
+			Events: recorded,
+		}
+		if err := wt.WriteFile(*recordPath); err != nil {
+			fatal(fmt.Errorf("-record: %w", err))
+		}
+		fmt.Printf("workload: %d events recorded to %s\n", len(recorded), *recordPath)
 	}
 
 	if *flightDir != "" && harness != nil {

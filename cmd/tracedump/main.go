@@ -1,13 +1,16 @@
 // Command tracedump inspects run artifacts written by pervasim and the
-// harnesses: full execution traces (internal/trace) and flight-recorder
-// dumps (internal/flight). The input kind is sniffed from the file
-// itself, not the name: a JSONL stream whose first line carries a
-// "flight" key is a dump; anything else is a trace (JSONL header
-// {"n":N}, or a single JSON object).
+// harnesses: full execution traces (internal/trace), flight-recorder
+// dumps (internal/flight), and recorded workload traces
+// (internal/workload, `pervasim -record`). The input kind is sniffed
+// from the file itself, not the name: a "PVWL" magic marks a binary
+// workload trace; a JSONL stream whose first line carries a "flight"
+// key is a dump; anything else is a trace (JSONL header {"n":N}, or a
+// single JSON object).
 //
 // Usage:
 //
 //	tracedump run.json                  # trace summary + lattice analysis
+//	tracedump run.pvwl                  # workload-trace summary + digest
 //	tracedump detect.dump.jsonl         # dump summary + DAG validation
 //	tracedump -dag detect.dump.jsonl    # happens-before DAG detail
 //	tracedump -critical detect.dump.jsonl
@@ -35,6 +38,7 @@ import (
 	"pervasive/internal/obs"
 	"pervasive/internal/sim"
 	"pervasive/internal/trace"
+	"pervasive/internal/workload"
 )
 
 func main() {
@@ -97,18 +101,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return runSummary(in, *asJSON, stdout, stderr)
 }
 
-// input is one loaded artifact: exactly one of tr/dump is non-nil.
+// input is one loaded artifact: exactly one of tr/dump/wl is non-nil.
 type input struct {
 	path string
 	tr   *trace.Trace
 	dump *flight.Dump
+	wl   *workload.Trace
 }
 
 func (in *input) metrics() *obs.Snapshot {
 	if in.dump != nil {
 		return in.dump.Metrics
 	}
-	return in.tr.Metrics
+	if in.tr != nil {
+		return in.tr.Metrics
+	}
+	return nil
 }
 
 // timeBase returns the artifact's time base: the dump header's for
@@ -118,15 +126,21 @@ func (in *input) timeBase() string {
 	if in.dump != nil {
 		return in.dump.TimeBase
 	}
-	if in.tr.Metrics != nil {
+	if in.tr != nil && in.tr.Metrics != nil {
 		return in.tr.Metrics.TimeBase
+	}
+	if in.wl != nil {
+		return "virtual"
 	}
 	return ""
 }
 
 func (in *input) kind() string {
-	if in.dump != nil {
+	switch {
+	case in.dump != nil:
 		return "dump"
+	case in.wl != nil:
+		return "workload"
 	}
 	return "trace"
 }
@@ -145,6 +159,8 @@ func load(path string) (*input, error) {
 	}
 	in := &input{path: path}
 	switch {
+	case workload.IsTraceHeader(data):
+		in.wl, err = workload.Decode(data)
 	case flight.IsDumpHeader(firstLine):
 		in.dump, err = flight.DecodeJSONL(bytes.NewReader(data))
 	case isTraceJSONLHeader(firstLine):
@@ -175,7 +191,54 @@ func runSummary(in *input, asJSON bool, stdout, stderr io.Writer) int {
 	if in.dump != nil {
 		return dumpSummary(in.dump, asJSON, stdout, stderr)
 	}
+	if in.wl != nil {
+		return workloadSummary(in.wl, asJSON, stdout, stderr)
+	}
 	return traceSummary(in.tr, asJSON, stdout, stderr)
+}
+
+// workloadSummary describes a recorded workload trace: header fields,
+// per-attribute event counts, and the canonical digest — the identity a
+// replay must reproduce.
+func workloadSummary(wt *workload.Trace, asJSON bool, stdout, stderr io.Writer) int {
+	objects := map[int]bool{}
+	attrs := map[string]int{}
+	for _, ev := range wt.Events {
+		objects[ev.Obj] = true
+		attrs[ev.Attr]++
+	}
+	if asJSON {
+		out := map[string]any{
+			"kind": "workload", "version": workload.TraceVersion,
+			"horizon": wt.Horizon, "meta": wt.Meta,
+			"events": len(wt.Events), "objects": len(objects),
+			"attrs": attrs, "digest": workload.Digest(wt.Events),
+		}
+		return emitJSON(stdout, stderr, out, false)
+	}
+	fmt.Fprintf(stdout, "workload trace v%d: %d events over %d objects, horizon %v\n",
+		workload.TraceVersion, len(wt.Events), len(objects), wt.Horizon)
+	keys := make([]string, 0, len(wt.Meta))
+	for k := range wt.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(stdout, "  meta %-10s %s\n", k, wt.Meta[k])
+	}
+	names := make([]string, 0, len(attrs))
+	for a := range attrs {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	for _, a := range names {
+		fmt.Fprintf(stdout, "  attr %-10s %d events\n", a, attrs[a])
+	}
+	if n := len(wt.Events); n > 0 {
+		fmt.Fprintf(stdout, "span: %v .. %v\n", wt.Events[0].At, wt.Events[n-1].At)
+	}
+	fmt.Fprintf(stdout, "digest: %s\n", workload.Digest(wt.Events))
+	return 0
 }
 
 func dumpSummary(d *flight.Dump, asJSON bool, stdout, stderr io.Writer) int {
@@ -491,6 +554,10 @@ func stampKeys(d *flight.Dump) map[stampKey]int {
 }
 
 func runDiff(a, b *input, asJSON bool, stdout, stderr io.Writer) int {
+	if a.wl != nil || b.wl != nil {
+		fmt.Fprintln(stderr, "tracedump: -diff keys on logical stamps; compare workload traces by their summary digests instead")
+		return 2
+	}
 	// Span durations are only comparable within one time base: virtual
 	// ticks and wall microseconds are different units entirely.
 	if ta, tb := a.timeBase(), b.timeBase(); ta != tb {

@@ -47,6 +47,7 @@ func DefaultConfig() Config {
 			m + "/internal/experiments",
 			m + "/internal/clock",
 			m + "/internal/live",
+			m + "/internal/workload",
 		},
 		ClockPkg:       m + "/internal/clock",
 		ClockRuleFuncs: []string{"Strobe", "OnStrobe", "Tick", "Send", "Receive", "MergeFrom", "MergeSparse", "Reset"},

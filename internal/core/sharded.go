@@ -15,6 +15,7 @@ import (
 	"pervasive/internal/sim"
 	"pervasive/internal/stats"
 	"pervasive/internal/trace"
+	"pervasive/internal/workload"
 	"pervasive/internal/world"
 )
 
@@ -66,6 +67,13 @@ type ShardedConfig struct {
 	// single-heap-era baseline the benches compare against); otherwise
 	// clock.NewVectorState picks by density.
 	DenseClocks bool
+	// Workload overrides the fleet workload with any workload.Source
+	// (objects are global sensor indices, attr "p"); nil uses the default
+	// per-sensor toggler fleet parameterized by MeanHigh/MeanLow. The
+	// source is materialized once and partitioned across shards, so the
+	// stream — and therefore the whole run — is shard- and worker-count
+	// invariant, and Harness.Events can be recorded to a trace.
+	Workload workload.Source
 	// Faults, if non-nil, is the deterministic fault plan; transitions are
 	// scheduled on each target's own shard.
 	Faults *faults.Plan
@@ -88,6 +96,10 @@ type ShardedHarness struct {
 	Tree    *checker.Tree
 	Faults  *faults.Injector
 	Pred    predicate.Cond
+	// Events is the materialized fleet workload driving the run, in
+	// canonical order with global sensor indices as objects — the stream
+	// a recorder would capture, available before Run for encoding.
+	Events []workload.Event
 
 	smap    network.ShardMap
 	objBase []int // first global sensor index hosted by each shard
@@ -189,10 +201,9 @@ func NewShardedHarness(cfg ShardedConfig) *ShardedHarness {
 		}
 	}
 
-	// Sensors, objects and workload streams, all indexed by sensor. Each
-	// sensor's world object lives on its own shard; the per-shard object
-	// id is the sensor's offset from the shard's first sensor.
-	workRoot := stats.NewRNG(mix64(cfg.Seed, 0x2))
+	// Sensors and objects, all indexed by sensor. Each sensor's world
+	// object lives on its own shard; the per-shard object id is the
+	// sensor's offset from the shard's first sensor.
 	h.Sensors = make([]*Sensor, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		k := smap.Of(i)
@@ -218,11 +229,33 @@ func NewShardedHarness(cfg ShardedConfig) *ShardedHarness {
 		w := h.Worlds[k]
 		obj := w.AddObject("o"+strconv.Itoa(i), nil)
 		s.Bind(w, obj, "p", "p")
-		tr := workRoot.Fork() // per-sensor stream: shard-count invariant
-		world.Toggler{
-			Obj: obj, Attr: "p",
+	}
+
+	// Fleet workload: one materialized source over global sensor indices,
+	// partitioned per shard and pumped locally. The stream is generated
+	// (or replayed) identically at every shard count; the per-sensor
+	// toggler streams match the former in-loop installation exactly (one
+	// workload-root fork per sensor, in sensor order).
+	src := cfg.Workload
+	if src == nil {
+		src = workload.TogglerFleet{
+			Seed: mix64(cfg.Seed, 0x2), N: cfg.N, Attr: "p",
 			MeanHigh: cfg.MeanHigh, MeanLow: cfg.MeanLow,
-		}.InstallWith(w, tr, cfg.Horizon)
+		}
+	}
+	h.Events = src.Events(cfg.Horizon)
+	parts := make([][]workload.Event, cfg.Shards)
+	for _, ev := range h.Events {
+		if ev.Obj < 0 || ev.Obj >= cfg.N {
+			panic(fmt.Sprintf("core: workload event targets object %d; fleet objects are 0..%d",
+				ev.Obj, cfg.N-1))
+		}
+		k := smap.Of(ev.Obj)
+		ev.Obj -= h.objBase[k] // global sensor index -> shard-local object
+		parts[k] = append(parts[k], ev)
+	}
+	for k, p := range parts {
+		workload.Install(sh.Engine(k), h.Worlds[k], p)
 	}
 	// Ground truth is scored on the pilot only; shards hosting no pilot
 	// sensor skip logging entirely.

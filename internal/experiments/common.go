@@ -9,7 +9,7 @@ import (
 	"pervasive/internal/network"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
-	"pervasive/internal/world"
+	"pervasive/internal/workload"
 )
 
 // clockVector keeps trimExecution's signature readable.
@@ -33,6 +33,9 @@ type pulseWorkload struct {
 	Topo      network.Topology
 	Flood     bool
 	Faults    *faults.Plan
+	// Source overrides the default toggler fleet (E16's generator sweep);
+	// the seed passed to build is ignored for the workload when set.
+	Source func(seed uint64) workload.Source
 }
 
 func (pw pulseWorkload) pred() predicate.Cond {
@@ -50,9 +53,20 @@ func (pw pulseWorkload) build(seed uint64) *core.Harness {
 	for i := 0; i < pw.N; i++ {
 		obj := h.World.AddObject(fmt.Sprintf("obj-%d", i), nil)
 		h.Bind(i, obj, "p", "p")
-		world.Toggler{Obj: obj, Attr: "p", MeanHigh: pw.MeanHigh,
-			MeanLow: pw.MeanLow}.Install(h.World, pw.Horizon)
 	}
+	// The toggler fleet is a materialized workload.Source: the same
+	// stream discipline at any engine, recordable, and swappable for the
+	// statistical generators E16 sweeps.
+	var src workload.Source
+	if pw.Source != nil {
+		src = pw.Source(seed)
+	} else {
+		src = workload.TogglerFleet{
+			Seed: workload.DeriveSeed(seed, 0x2), N: pw.N, Attr: "p",
+			MeanHigh: pw.MeanHigh, MeanLow: pw.MeanLow,
+		}
+	}
+	workload.Install(h.Eng, h.World, src.Events(pw.Horizon))
 	if pw.LogStamps {
 		for _, s := range h.Sensors {
 			s.LogStamps = true

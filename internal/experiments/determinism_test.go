@@ -14,7 +14,10 @@ import "testing"
 // cube renders one table. E15 exercises the checker tree: its cells
 // differ in fan-out and carry a digest check against the flat-checker
 // baseline, so byte-identity here pins tree detection across both
-// parallelism and fan-out.
+// parallelism and fan-out. E16 exercises the statistical workload
+// generators: each cell materializes its generator streams inside the
+// worker, so byte-identity here is the generator-determinism regression
+// (same seed → same trace at any worker count).
 func TestTablesByteIdenticalAcrossParallelism(t *testing.T) {
 	cases := []struct {
 		name string
@@ -25,6 +28,7 @@ func TestTablesByteIdenticalAcrossParallelism(t *testing.T) {
 		{"E13", E13CrashChurn},
 		{"E14", E14ScaleSweep},
 		{"E15", E15CheckerTree},
+		{"E16", E16GeneratorSweep},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

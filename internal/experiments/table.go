@@ -146,6 +146,7 @@ var All = []Experiment{
 	{"E13", "crash/recovery churn sweep", E13CrashChurn},
 	{"E14", "sharded-engine scale sweep", E14ScaleSweep},
 	{"E15", "checker-tree fan-out sweep", E15CheckerTree},
+	{"E16", "statistical generator sweep (burstiness, diurnal phase)", E16GeneratorSweep},
 }
 
 // ByID finds an experiment or ablation by its ID (case-insensitive).

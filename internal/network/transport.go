@@ -38,6 +38,14 @@ type Message struct {
 // Handler receives delivered messages at a process.
 type Handler func(m Message, now sim.Time)
 
+// DeliveryPri is the event priority of message deliveries on the
+// single-heap engine. Local events (world mutations, sensor timers) are
+// scheduled at priority 0 and therefore sort ahead of same-instant
+// deliveries — the same convention the sharded kernel's mailbox merge
+// uses, and the tie-break that makes a recorded workload replay through
+// any engine reproduce the original interleaving.
+const DeliveryPri = 1
+
 // Stats accumulates transport-level counters.
 type Stats struct {
 	Sent      int64 // link-level transmissions attempted
@@ -312,14 +320,14 @@ func (nt *Net) transmit(m Message) {
 	}
 	d = nt.shapeDelay(d, now)
 	nt.obsDelay.Observe(float64(d))
-	nt.eng.After(d, func(now sim.Time) { nt.deliver(m, now) })
+	nt.eng.AtPri(now+d, DeliveryPri, func(now sim.Time) { nt.deliver(m, now) })
 	if f := nt.fault; f != nil {
 		// Duplicate window: re-deliver with an independently sampled
 		// delay. The checker's Seq discipline must absorb the copy.
 		if p := f.DupProb(now); p > 0 && nt.rng.Bool(p) {
 			if d2, dropped2 := sim.SampleDelay(nt.delay, nt.rng, now, m.From, m.Dst); !dropped2 {
 				f.Counts.Duplicates.Add(1)
-				nt.eng.After(nt.shapeDelay(d2, now), func(now sim.Time) { nt.deliver(m, now) })
+				nt.eng.AtPri(now+nt.shapeDelay(d2, now), DeliveryPri, func(now sim.Time) { nt.deliver(m, now) })
 			}
 		}
 	}
@@ -399,7 +407,7 @@ func (nt *Net) relay(m Message) {
 		d = nt.shapeDelay(d, now)
 		nt.obsDelay.Observe(float64(d))
 		nt.inflight[hop.ID]++
-		nt.eng.After(d, func(now sim.Time) {
+		nt.eng.AtPri(now+d, DeliveryPri, func(now sim.Time) {
 			defer nt.flightDone(hop.ID)
 			if nt.seen[hop.Dst][hop.ID] {
 				return // duplicate arrived first via another path

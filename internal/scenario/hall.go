@@ -4,6 +4,11 @@
 // in-the-wild habitat-monitoring deployment. Each builder returns a wired
 // core.Harness ready to Run, so examples, the CLI, and the experiment
 // suite share one implementation.
+//
+// Scenario activity comes from internal/workload Sources: builders
+// materialize the workload up front and pump it through the engine, so
+// any scenario run can be recorded to a trace and replayed byte-
+// identically (pass a decoded trace as the config's Workload).
 package scenario
 
 import (
@@ -13,9 +18,8 @@ import (
 	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
-	"pervasive/internal/stats"
 	"pervasive/internal/trace"
-	"pervasive/internal/world"
+	"pervasive/internal/workload"
 )
 
 // HallConfig parameterizes the exhibition-hall occupancy monitor: d doors,
@@ -37,6 +41,10 @@ type HallConfig struct {
 	// InitialOccupancy seeds the hall with visitors already inside
 	// (spread across doors' entry counters) so runs start near capacity.
 	InitialOccupancy int
+	// Workload overrides the visitor flow (e.g. a replayed trace); nil
+	// uses the default workload.HallTraffic generator derived from Seed,
+	// MeanArrival, MeanStay and InitialOccupancy.
+	Workload workload.Source
 	// Trace, if non-nil, records every sensor event (for cmd/tracedump).
 	Trace *trace.Trace
 	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
@@ -74,6 +82,9 @@ type Hall struct {
 	Harness *core.Harness
 	// Doors[i] is the world object of door i (attributes "x" and "y").
 	Doors []int
+	// Events is the materialized visitor flow driving the run — the
+	// stream a recorder would capture, available before Run for encoding.
+	Events []workload.Event
 }
 
 // OccupancyPredicate returns Σx − Σy > capacity.
@@ -82,7 +93,10 @@ func OccupancyPredicate(capacity int) predicate.Cond {
 }
 
 // NewHall wires the scenario: one sensor per door, Poisson visitor flow
-// with occupancy-dependent departures.
+// with occupancy-dependent departures (every exit consumes one prior
+// entry, so Σx − Σy ≥ 0 at every instant, and stays that would cross the
+// horizon depart at the horizon instead of vanishing — see
+// workload.HallTraffic).
 func NewHall(cfg HallConfig) *Hall {
 	cfg.fill()
 	h := core.NewHarness(core.HarnessConfig{
@@ -102,45 +116,19 @@ func NewHall(cfg HallConfig) *Hall {
 		h.Bind(i, door, "x", "x")
 		h.Bind(i, door, "y", "y")
 	}
-	hall.installTraffic()
+	src := cfg.Workload
+	if src == nil {
+		src = workload.HallTraffic{
+			Seed:             workload.DeriveSeed(cfg.Seed, 0x2),
+			Doors:            cfg.Doors,
+			MeanArrival:      cfg.MeanArrival,
+			MeanStay:         cfg.MeanStay,
+			InitialOccupancy: cfg.InitialOccupancy,
+		}
+	}
+	hall.Events = src.Events(cfg.Horizon)
+	workload.Install(h.Eng, h.World, hall.Events)
 	return hall
-}
-
-// installTraffic drives the visitor flow. Occupancy state lives in the
-// closure; every entry/exit picks a door uniformly at random, so
-// concurrent traffic through different doors creates exactly the race the
-// paper describes.
-func (hl *Hall) installTraffic() {
-	h := hl.Harness
-	r := h.Eng.RNG().Fork()
-	occupancy := 0
-
-	enter := func(now sim.Time) {
-		door := hl.Doors[r.Intn(len(hl.Doors))]
-		occupancy++
-		h.World.Add(door, "x", 1)
-		// Schedule this visitor's departure.
-		stay := sim.Duration(stats.Exponential{MeanV: float64(hl.Cfg.MeanStay)}.Sample(r))
-		if stay < 1 {
-			stay = 1
-		}
-		if now+stay <= hl.Cfg.Horizon {
-			h.Eng.At(now+stay, func(sim.Time) {
-				occupancy--
-				out := hl.Doors[r.Intn(len(hl.Doors))]
-				h.World.Add(out, "y", 1)
-			})
-		}
-	}
-
-	// Seed initial occupancy during a one-second ramp-up so the seeding
-	// events are ordinary (non-simultaneous) entries.
-	for k := 0; k < hl.Cfg.InitialOccupancy; k++ {
-		at := 1 + sim.Time(k)*sim.Second/sim.Time(hl.Cfg.InitialOccupancy)
-		h.Eng.At(at, enter)
-	}
-	world.Repeat(h.Eng, r, stats.Exponential{MeanV: float64(hl.Cfg.MeanArrival)},
-		1, hl.Cfg.Horizon, enter)
 }
 
 // Run executes the scenario.

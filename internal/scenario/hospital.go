@@ -7,8 +7,7 @@ import (
 	"pervasive/internal/obs"
 	"pervasive/internal/predicate"
 	"pervasive/internal/sim"
-	"pervasive/internal/stats"
-	"pervasive/internal/world"
+	"pervasive/internal/workload"
 )
 
 // HospitalConfig parameterizes the hospital scenario of Section 5: RFID
@@ -34,6 +33,9 @@ type HospitalConfig struct {
 	Kind          core.ClockKind
 	Delay         sim.DelayModel
 	Horizon       sim.Time
+	// Workload overrides the admission flow (e.g. a replayed trace); nil
+	// uses the default workload.Admissions generator.
+	Workload workload.Source
 	// Obs, if non-nil, receives runtime metrics (see core.HarnessConfig).
 	Obs *obs.Registry
 	// FlightPerProc, when positive, attaches a causal flight recorder
@@ -74,6 +76,8 @@ func (c *HospitalConfig) fill() {
 type Hospital struct {
 	Cfg     HospitalConfig
 	Harness *core.Harness
+	// Events is the materialized admission flow driving the run.
+	Events []workload.Event
 	// Alarms counts raised alarms (actuation hook).
 	Alarms int
 }
@@ -104,47 +108,28 @@ func NewHospital(cfg HospitalConfig) *Hospital {
 		h.StrobeCk.Notify = func(core.Occurrence) { hp.Alarms++ }
 	}
 
-	r := h.Eng.RNG().Fork()
-
-	// Waiting-room doors.
-	doors := make([]int, cfg.WaitingDoors)
-	for i := range doors {
-		doors[i] = h.World.AddObject(fmt.Sprintf("waiting-door-%d", i), nil)
-		h.Bind(i, doors[i], "x", "x")
-		h.Bind(i, doors[i], "y", "y")
+	// Waiting-room doors are objects 0 … WaitingDoors-1, the ward is the
+	// next object — matching workload.Admissions's numbering.
+	for i := 0; i < cfg.WaitingDoors; i++ {
+		door := h.World.AddObject(fmt.Sprintf("waiting-door-%d", i), nil)
+		h.Bind(i, door, "x", "x")
+		h.Bind(i, door, "y", "y")
 	}
-	world.Repeat(h.Eng, r, stats.Exponential{MeanV: float64(cfg.MeanArrival)},
-		1, cfg.Horizon, func(now sim.Time) {
-			in := doors[r.Intn(len(doors))]
-			h.World.Add(in, "x", 1)
-			stay := sim.Duration(stats.Exponential{MeanV: float64(cfg.MeanStay)}.Sample(r))
-			if stay < 1 {
-				stay = 1
-			}
-			if now+stay <= cfg.Horizon {
-				h.Eng.At(now+stay, func(sim.Time) {
-					out := doors[r.Intn(len(doors))]
-					h.World.Add(out, "y", 1)
-				})
-			}
-		})
-
-	// Infectious ward: occasional visitors who should not be there.
 	ward := h.World.AddObject("infectious-ward", nil)
 	h.Bind(wardProc, ward, "occupancy", "ward")
-	world.Repeat(h.Eng, r, stats.Exponential{MeanV: float64(cfg.WardMeanVisit)},
-		1, cfg.Horizon, func(now sim.Time) {
-			h.World.Add(ward, "occupancy", 1)
-			visit := sim.Duration(stats.Exponential{MeanV: float64(cfg.MeanStay / 4)}.Sample(r))
-			if visit < 1 {
-				visit = 1
-			}
-			if now+visit <= cfg.Horizon {
-				h.Eng.At(now+visit, func(sim.Time) {
-					h.World.Add(ward, "occupancy", -1)
-				})
-			}
-		})
+
+	src := cfg.Workload
+	if src == nil {
+		src = workload.Admissions{
+			Seed:          workload.DeriveSeed(cfg.Seed, 0x2),
+			Doors:         cfg.WaitingDoors,
+			MeanArrival:   cfg.MeanArrival,
+			MeanStay:      cfg.MeanStay,
+			WardMeanVisit: cfg.WardMeanVisit,
+		}
+	}
+	hp.Events = src.Events(cfg.Horizon)
+	workload.Install(h.Eng, h.World, hp.Events)
 	return hp
 }
 

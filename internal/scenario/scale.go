@@ -5,6 +5,7 @@ import (
 	"pervasive/internal/faults"
 	"pervasive/internal/obs"
 	"pervasive/internal/sim"
+	"pervasive/internal/workload"
 )
 
 // ScaleConfig parameterizes the large-deployment scenario: a fleet of N
@@ -36,9 +37,13 @@ type ScaleConfig struct {
 	// checker tree with that many regional aggregators; <= 1 keeps the
 	// flat checker (the differential oracle).
 	CheckerFanout int
-	Faults        *faults.Plan
-	Obs           *obs.Registry
-	Trace         bool
+	// Workload overrides the fleet workload (e.g. a replayed trace,
+	// objects = global sensor indices); nil uses the default per-sensor
+	// toggler fleet.
+	Workload workload.Source
+	Faults   *faults.Plan
+	Obs      *obs.Registry
+	Trace    bool
 }
 
 // Scale is a wired sharded fleet scenario.
@@ -66,8 +71,8 @@ func NewScale(cfg ScaleConfig) *Scale {
 		// workload balance E14 sweeps).
 		MeanHigh: 1200 * sim.Millisecond, MeanLow: 400 * sim.Millisecond,
 		RaceAware: cfg.RaceAware, DenseClocks: cfg.DenseClocks,
-		CheckerFanout: cfg.CheckerFanout,
-		Faults:        cfg.Faults, Obs: cfg.Obs, Trace: cfg.Trace,
+		CheckerFanout: cfg.CheckerFanout, Workload: cfg.Workload,
+		Faults: cfg.Faults, Obs: cfg.Obs, Trace: cfg.Trace,
 	})
 	return &Scale{Cfg: cfg, Harness: h}
 }

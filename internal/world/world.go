@@ -177,6 +177,13 @@ type CovertRule struct {
 // AddCovertRule installs a covert-channel rule.
 func (w *World) AddCovertRule(r CovertRule) { w.rules = append(w.rules, r) }
 
+// DisableRules detaches the covert-channel overlay. Replays of a
+// recorded ground-truth log call it before pumping the log back in: the
+// rules' effects are already events in the recording, and leaving the
+// overlay live would fire them a second time (and advance the world's
+// RNG), breaking byte-identity.
+func (w *World) DisableRules() { w.rules = nil }
+
 func (w *World) applyRules(ev Event) {
 	for _, r := range w.rules {
 		if r.SrcObj != ev.Object || r.SrcAttr != ev.Attr {
