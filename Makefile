@@ -4,9 +4,13 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race-live bench-obs bench-obs-smoke bench-kernel bench-lattice bench-faults bench-shard bench-checker bench-workload bench
+.PHONY: check build vet lint test test-race race-live bench-obs bench-obs-smoke bench-kernel bench-lattice bench-faults bench-shard bench-checker bench-workload bench
 
-check: build vet lint bench-obs-smoke
+check: build vet lint bench-obs-smoke test-race
+
+# The full suite under the race detector, plus the targeted determinism
+# and stress regressions. CI runs this in parallel with the lint job.
+test-race:
 	$(GO) test -race ./...
 	$(GO) test -race -run TestTablesByteIdenticalAcrossParallelism ./internal/experiments/ ./internal/runner/
 	$(GO) test -race -run 'TestSurveyMatchesOracle|TestSurveyParallelDeterministic' ./internal/lattice/
@@ -24,9 +28,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific invariants (determinism, clock rules, fast paths,
-# goroutine hygiene, atomics — see DESIGN.md §1.8) plus a gofmt gate.
-# Suppressions use //lint:allow <analyzer>(<reason>); see cmd/pervalint.
+# Project-specific invariants over the module-wide call graph
+# (determinism + interprocedural taint, clock rules, fast paths,
+# hot-path allocations, codec pairing, goroutine hygiene, atomics —
+# see DESIGN.md §1.8) plus a gofmt gate. Suppressions use
+# //lint:allow <analyzer>(<reason>); see cmd/pervalint.
+# `pervalint -why file:line` explains a determtaint finding.
 lint:
 	$(GO) run ./cmd/pervalint ./...
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \

@@ -2,7 +2,8 @@
 // loads and type-checks every package in the module with only the
 // standard library (go/parser + go/types; no x/tools) and runs the
 // project-specific analyzers that enforce the determinism, clock-rule,
-// fast-path, goroutine-hygiene and atomics invariants (DESIGN.md §1.8).
+// fast-path, goroutine-hygiene, atomics, hot-path-allocation and
+// codec-pairing invariants over a module-wide call graph (DESIGN.md §1.8).
 //
 // Usage:
 //
@@ -18,6 +19,11 @@
 //	-analyzers list  comma-separated analyzer subset (default: all)
 //	-list            print the analyzers and exit
 //	-C dir           run as if launched from dir (module root discovery)
+//	-graph           print call-graph statistics (functions, edges,
+//	                 interface sites, unresolved calls) before diagnostics
+//	-why file:line   print the call-graph path behind the determtaint
+//	                 finding at that position (file matched by suffix)
+//	                 instead of the normal diagnostic listing
 //
 // Suppressions use the //lint:allow grammar checked by the driver
 // itself: `//lint:allow <analyzer>(<reason>)` on the offending line or
@@ -40,6 +46,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"pervasive/internal/analysis"
@@ -61,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "print the analyzers and exit")
 	chdir := fs.String("C", ".", "directory to resolve the module from")
+	graph := fs.Bool("graph", false, "print call-graph statistics before diagnostics")
+	why := fs.String("why", "", "print the determtaint call-graph path for the finding at file:line")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -93,10 +102,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags, err := analysis.RunPackages(loader, analysis.DefaultConfig(), analyzers, paths)
+	res, err := analysis.Run(loader, analysis.DefaultConfig(), analyzers, paths)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	diags := res.Diagnostics
+	if *graph {
+		g := res.Mod.Graph
+		fmt.Fprintf(stdout, "call graph: %d functions, %d static edges, %d dynamic edges (%d interface call sites), %d unresolved function-value calls\n",
+			g.NumFuncs, g.NumStaticEdges, g.NumDynamicEdges, g.NumIfaceSites, g.NumUnresolved)
+	}
+	if *why != "" {
+		file, line, err := parseWhy(*why)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		path := res.ExplainTaint(file, line)
+		if path == nil {
+			fmt.Fprintf(stderr, "pervalint: no determtaint finding at %s (run without -why to list findings)\n", *why)
+			return 1
+		}
+		for _, l := range path {
+			fmt.Fprintln(stdout, l)
+		}
+		return 0
 	}
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
@@ -125,6 +156,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// parseWhy splits a -why argument into its file and line halves.
+func parseWhy(arg string) (string, int, error) {
+	i := strings.LastIndex(arg, ":")
+	if i <= 0 || i == len(arg)-1 {
+		return "", 0, fmt.Errorf("pervalint: -why wants file:line, got %q", arg)
+	}
+	line, err := strconv.Atoi(arg[i+1:])
+	if err != nil || line <= 0 {
+		return "", 0, fmt.Errorf("pervalint: -why wants file:line, got %q", arg)
+	}
+	return arg[:i], line, nil
 }
 
 // filterPackages selects from the discovered import paths. No patterns

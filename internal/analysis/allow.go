@@ -11,19 +11,28 @@ import (
 //	//lint:allow <analyzer>(<reason>)
 //
 // placed either as a trailing comment on the offending line or as a
-// full-line comment immediately above it. The reason is mandatory — an
-// allow without one is itself a diagnostic — and an allow that no longer
-// suppresses anything is reported as unused, so stale annotations cannot
-// accumulate. Deleting a load-bearing allow therefore fails `make lint`
-// twice over: the original finding resurfaces.
+// full-line comment immediately above it. An allow anchored to a
+// declaration — trailing on the declaration's first line, or the line
+// above it — covers the whole declaration body, so one annotation on a
+// function suppresses that analyzer throughout the function rather
+// than only on its signature line. The reason is mandatory — an allow
+// without one is itself a diagnostic — and an allow that no longer
+// suppresses anything is reported as unused, so stale annotations
+// cannot accumulate. An allow whose entire coverage is already
+// provided by earlier allows for the same analyzer is dead by
+// construction and reported as a duplicate (the common case: a
+// trailing allow inside a function whose declaration already carries a
+// decl-scoped allow). Deleting a load-bearing allow therefore fails
+// `make lint` twice over: the original finding resurfaces.
 
 const allowPrefix = "//lint:allow "
 
 type allowEntry struct {
-	pos      token.Position
-	analyzer string
-	reason   string
-	used     bool
+	pos       token.Position
+	analyzer  string
+	reason    string
+	used      bool
+	duplicate bool // same analyzer already allowed on this line
 }
 
 type allowIndex struct {
@@ -63,6 +72,38 @@ func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) 
 		}
 		return false
 	}
+	// Top-level declaration line ranges, for decl-scoped coverage: an
+	// allow anchored to a declaration's first line covers the whole
+	// declaration.
+	type lineRange struct{ start, end int }
+	declRanges := make(map[string][]lineRange)
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, d := range f.Decls {
+			declRanges[fname] = append(declRanges[fname], lineRange{
+				start: fset.Position(d.Pos()).Line,
+				end:   fset.Position(d.End()).Line,
+			})
+		}
+	}
+	cover := func(e *allowEntry, line int) {
+		lines := idx.byLine[e.pos.Filename]
+		if lines == nil {
+			lines = make(map[int][]*allowEntry)
+			idx.byLine[e.pos.Filename] = lines
+		}
+		lines[line] = append(lines[line], e)
+	}
+	// covers reports whether an already-indexed allow for analyzer name
+	// covers line.
+	covers := func(file string, line int, name string) bool {
+		for _, prev := range idx.byLine[file][line] {
+			if prev.analyzer == name {
+				return true
+			}
+		}
+		return false
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -95,16 +136,40 @@ func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) 
 				}
 				e := &allowEntry{pos: pos, analyzer: name, reason: reason}
 				idx.all = append(idx.all, e)
-				lines := idx.byLine[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]*allowEntry)
-					idx.byLine[pos.Filename] = lines
-				}
 				// A trailing comment covers its own line; a full-line
 				// comment covers the next. Covering both is harmless and
-				// keeps the grammar position-insensitive.
-				lines[pos.Line] = append(lines[pos.Line], e)
-				lines[pos.Line+1] = append(lines[pos.Line+1], e)
+				// keeps the grammar position-insensitive. Anchored to a
+				// declaration's first line (trailing, or full-line
+				// immediately above), the allow additionally covers the
+				// whole declaration body.
+				lines := []int{pos.Line, pos.Line + 1}
+				for _, r := range declRanges[pos.Filename] {
+					if r.start == pos.Line || r.start == pos.Line+1 {
+						for line := r.start; line <= r.end; line++ {
+							lines = append(lines, line)
+						}
+						break
+					}
+				}
+				// An allow every one of whose covered lines is already
+				// covered by earlier allows for the same analyzer can
+				// never suppress anything they do not: it is dead, and
+				// unused() reports it as a duplicate. It is not indexed,
+				// so deleting the earlier allow revives this one.
+				dup := true
+				for _, line := range lines {
+					if !covers(pos.Filename, line, name) {
+						dup = false
+						break
+					}
+				}
+				if dup {
+					e.duplicate = true
+					continue
+				}
+				for _, line := range lines {
+					cover(e, line)
+				}
 			}
 		}
 	}
@@ -123,17 +188,23 @@ func (idx *allowIndex) suppress(d Diagnostic) bool {
 	return hit
 }
 
-// unused returns diagnostics for allows that suppressed nothing.
+// unused returns diagnostics for allows that suppressed nothing,
+// duplicates included.
 func (idx *allowIndex) unused() []Diagnostic {
 	var out []Diagnostic
 	for _, e := range idx.all {
-		if !e.used {
-			out = append(out, Diagnostic{
-				Pos: e.pos, File: e.pos.Filename, Line: e.pos.Line, Col: e.pos.Column,
-				Analyzer: "allow",
-				Message:  "unused //lint:allow " + e.analyzer + " annotation (no diagnostic suppressed; delete it)",
-			})
+		if e.used {
+			continue
 		}
+		msg := "unused //lint:allow " + e.analyzer + " annotation (no diagnostic suppressed; delete it)"
+		if e.duplicate {
+			msg = "duplicate //lint:allow " + e.analyzer + " (earlier allows for this analyzer already cover every line it covers; delete it)"
+		}
+		out = append(out, Diagnostic{
+			Pos: e.pos, File: e.pos.Filename, Line: e.pos.Line, Col: e.pos.Column,
+			Analyzer: "allow",
+			Message:  msg,
+		})
 	}
 	return out
 }

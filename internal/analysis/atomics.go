@@ -16,6 +16,12 @@ import (
 // delivery ran last). Fields of the atomic.Int64-style wrapper types
 // cannot be accessed non-atomically and need no checking; this
 // analyzer exists for the function-style mixed pattern.
+//
+// The atomic-field inventory is module-wide: a field atomically
+// updated in the package that owns it and plainly read from a sibling
+// package (the observable shape of an exported counter field) is the
+// same race, so collection runs once over every loaded package and
+// each pass checks its own accesses against the shared set.
 var Atomics = &Analyzer{
 	Name: "atomics",
 	Doc:  "fields accessed via sync/atomic functions must never be read or written plainly",
@@ -38,17 +44,16 @@ func isAtomicOp(fn *types.Func) bool {
 	return false
 }
 
-func runAtomics(p *Pass) {
-	// Pass 1: collect the struct fields whose addresses feed sync/atomic
-	// operations anywhere in the package.
-	atomicFields := make(map[types.Object]string) // field -> atomic func name
-	for _, f := range p.Files {
+// collectAtomicFields records, into out, every struct field whose
+// address feeds a sync/atomic operation in files (resolved via info).
+func collectAtomicFields(info *types.Info, files []*ast.File, out map[types.Object]string) {
+	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			fn := calleeFunc(p.Info, call)
+			fn := calleeFunc(info, call)
 			if !isAtomicOp(fn) {
 				return true
 			}
@@ -61,14 +66,40 @@ func runAtomics(p *Pass) {
 				if !ok {
 					continue
 				}
-				if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
-					if _, seen := atomicFields[s.Obj()]; !seen {
-						atomicFields[s.Obj()] = "atomic." + fn.Name()
+				if s := info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+					if _, seen := out[s.Obj()]; !seen {
+						out[s.Obj()] = "atomic." + fn.Name()
 					}
 				}
 			}
 			return true
 		})
+	}
+}
+
+// moduleAtomicFields computes (memoized) the atomic-field inventory
+// over every loaded module package.
+func (m *Module) moduleAtomicFields() map[types.Object]string {
+	if m.atomicFields != nil {
+		return m.atomicFields
+	}
+	out := make(map[types.Object]string)
+	m.atomicFields = out
+	for _, pkg := range m.Loader.Packages() {
+		collectAtomicFields(pkg.Info, pkg.Files, out)
+	}
+	return out
+}
+
+func runAtomics(p *Pass) {
+	// Pass 1: the module-wide atomic-field inventory (fall back to
+	// package-local collection when no whole-program context exists).
+	var atomicFields map[types.Object]string
+	if p.Mod != nil {
+		atomicFields = p.Mod.moduleAtomicFields()
+	} else {
+		atomicFields = make(map[types.Object]string)
+		collectAtomicFields(p.Info, p.Files, atomicFields)
 	}
 	if len(atomicFields) == 0 {
 		return
@@ -98,14 +129,14 @@ func runAtomics(p *Pass) {
 				p.Reportf(sel.Pos(), "address of field %s (accessed via %s elsewhere) escapes outside sync/atomic: all access must go through sync/atomic", field, via)
 			case *ast.AssignStmt:
 				if exprIsAssigned(parent, sel) {
-					p.Reportf(sel.Pos(), "plain write to field %s, which is accessed via %s elsewhere in this package: mixed atomic/non-atomic access is a data race", field, via)
+					p.Reportf(sel.Pos(), "plain write to field %s, which is accessed via %s elsewhere in the module: mixed atomic/non-atomic access is a data race", field, via)
 				} else {
-					p.Reportf(sel.Pos(), "plain read of field %s, which is accessed via %s elsewhere in this package: use the matching atomic load", field, via)
+					p.Reportf(sel.Pos(), "plain read of field %s, which is accessed via %s elsewhere in the module: use the matching atomic load", field, via)
 				}
 			case *ast.IncDecStmt:
-				p.Reportf(sel.Pos(), "plain %s of field %s, which is accessed via %s elsewhere in this package: use %s", parent.Tok, field, via, via)
+				p.Reportf(sel.Pos(), "plain %s of field %s, which is accessed via %s elsewhere in the module: use %s", parent.Tok, field, via, via)
 			default:
-				p.Reportf(sel.Pos(), "plain read of field %s, which is accessed via %s elsewhere in this package: use the matching atomic load", field, via)
+				p.Reportf(sel.Pos(), "plain read of field %s, which is accessed via %s elsewhere in the module: use the matching atomic load", field, via)
 			}
 			return true
 		})

@@ -20,6 +20,12 @@ import (
 // least one unexported field (the rule-governed clocks), plus every
 // named slice type used as such a field (clock.Vector). Exported-field
 // structs (Drifting, EpsilonSynced) are configuration, not rule state.
+//
+// Sanctioned writers extend transitively over the call graph: an
+// unexported clock-package helper every one of whose callers is itself
+// sanctioned (rule method, constructor, or another such helper) is a
+// rule application by delegation — splitting Strobe's body into
+// helpers must not force allow annotations onto each fragment.
 var ClockRule = &Analyzer{
 	Name: "clockrule",
 	Doc:  "clock state may only be written by the SVC/SSC/VC/SC rule methods and constructors",
@@ -168,17 +174,77 @@ func fieldOwner(s *types.Selection) *types.Named {
 }
 
 // allowedClockWriter reports whether fd (in the clock package) is a
-// sanctioned mutator: a New* constructor or one of the rule methods.
+// sanctioned mutator: a New* constructor, one of the rule methods, or
+// an unexported helper reached only from sanctioned writers (computed
+// as a fixpoint over the module call graph).
 func allowedClockWriter(p *Pass, fd *ast.FuncDecl) bool {
 	if fd == nil {
 		return false // package-level var initializer
 	}
-	name := fd.Name.Name
+	if directClockWriter(p.Config, fd.Name.Name, fd.Recv != nil) {
+		return true
+	}
+	if p.Mod != nil && p.Mod.Graph != nil {
+		if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+			return p.Mod.clockSanctioned()[canonFunc(fn)]
+		}
+	}
+	return false
+}
+
+// directClockWriter is the non-graph base case: constructors and the
+// configured rule methods.
+func directClockWriter(cfg Config, name string, isMethod bool) bool {
 	if strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
 		return true
 	}
-	if fd.Recv == nil {
-		return false
+	return isMethod && contains(cfg.ClockRuleFuncs, name)
+}
+
+// clockSanctioned computes (memoized) the transitive sanctioned-writer
+// set: seeded with the rule methods and constructors of the clock
+// package, then extended to every unexported clock-package function
+// whose callers — it must have at least one — are all sanctioned.
+// Exported helpers never qualify: anything callable from outside the
+// package is not a rule fragment.
+func (m *Module) clockSanctioned() map[*types.Func]bool {
+	if m.clockSanct != nil {
+		return m.clockSanct
 	}
-	return contains(p.Config.ClockRuleFuncs, name)
+	s := make(map[*types.Func]bool)
+	m.clockSanct = s
+	g := m.Graph
+	clockPath := m.Config.ClockPkg
+	inClock := func(fn *types.Func) bool {
+		return fn.Pkg() != nil && fn.Pkg().Path() == clockPath
+	}
+	for fn, fd := range g.DeclOf {
+		if inClock(fn) && directClockWriter(m.Config, fn.Name(), fd.Recv != nil) {
+			s[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range g.DeclOf {
+			if s[fn] || !inClock(fn) || fn.Exported() {
+				continue
+			}
+			callers := g.Callers[fn]
+			if len(callers) == 0 {
+				continue
+			}
+			all := true
+			for _, e := range callers {
+				if !s[e.Caller] {
+					all = false
+					break
+				}
+			}
+			if all {
+				s[fn] = true
+				changed = true
+			}
+		}
+	}
+	return s
 }

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// CodecPair guards the wire-format packages' round-trip contract. The
+// repo's traces, checker batches and stamp batches are all hand-rolled
+// varint codecs; the failure mode that motivates this analyzer is an
+// encoder growing a field whose decoder (or round-trip test) never
+// learns about it — the write path works, replay silently truncates.
+//
+// In each Config.CodecPkgs package, every exported Encode*/Append*/
+// Write* function must have a Decode*/Read* counterpart (matched by
+// stem: EncodeX↔DecodeX, WriteFile↔ReadFile; or through the receiver:
+// Batch.AppendWire↔DecodeBatch), and the pair must be exercised
+// together by at least one Test/Fuzz/Benchmark/Example function in the
+// package's _test.go files — a round trip, not two disjoint unit tests
+// that each check one direction against fixed bytes.
+var CodecPair = &Analyzer{
+	Name: "codecpair",
+	Doc:  "require a Decode*/Read* counterpart and a shared round-trip test for every exported encoder in the wire-format packages",
+	Run:  runCodecPair,
+}
+
+var encoderPrefixes = []string{"Encode", "Append", "Write"}
+var decoderPrefixes = []string{"Decode", "Read"}
+
+// codecFunc is one exported encoder or decoder declaration.
+type codecFunc struct {
+	name string
+	recv string // receiver base type name, "" for package functions
+	stem string // name minus its codec prefix
+	pos  token.Pos
+}
+
+// codecStem splits name on the first matching prefix and returns the
+// remainder, requiring it to be empty or to start a new word (upper
+// case or digit) — so "Written" or "Reader" are not codec functions.
+func codecStem(name string, prefixes []string) (string, bool) {
+	for _, p := range prefixes {
+		rest, ok := strings.CutPrefix(name, p)
+		if !ok {
+			continue
+		}
+		if rest == "" {
+			return "", true
+		}
+		r, _ := utf8.DecodeRuneInString(rest)
+		if unicode.IsUpper(r) || unicode.IsDigit(r) {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+func runCodecPair(p *Pass) {
+	if !contains(p.Config.CodecPkgs, p.ImportPath) {
+		return
+	}
+	var encoders, decoders []codecFunc
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			cf := codecFunc{name: fd.Name.Name, recv: recvBaseName(fd), pos: fd.Name.Pos()}
+			if stem, ok := codecStem(fd.Name.Name, encoderPrefixes); ok {
+				cf.stem = stem
+				encoders = append(encoders, cf)
+			} else if stem, ok := codecStem(fd.Name.Name, decoderPrefixes); ok {
+				cf.stem = stem
+				decoders = append(decoders, cf)
+			}
+		}
+	}
+	if len(encoders) == 0 {
+		return
+	}
+	sort.Slice(encoders, func(i, j int) bool { return encoders[i].pos < encoders[j].pos })
+	tests := loadTestRefs(p)
+	for _, enc := range encoders {
+		dec, ok := pairDecoder(enc, decoders)
+		if !ok {
+			p.Reportf(enc.pos, "exported encoder %s has no Decode*/Read* counterpart in this package: an encoder without a decoder cannot be round-tripped; add one or justify with //lint:allow codecpair(reason)", enc.name)
+			continue
+		}
+		if !tests.sharedTest(enc.name, dec.name) {
+			p.Reportf(enc.pos, "codec pair %s/%s has no round-trip test: no Test/Fuzz function in this package's _test.go files references both; encode-then-decode in one test so a format change cannot land half-way (//lint:allow codecpair(reason) to waive)", enc.name, dec.name)
+		}
+	}
+}
+
+// pairDecoder finds enc's counterpart, most specific rule first:
+//
+//  1. equal non-empty stems (EncodeX↔DecodeX, WriteFile↔ReadFile)
+//  2. stem naming the other's receiver (Batch.AppendWire↔DecodeBatch)
+//  3. equal receivers with both stems empty (Trace.Encode↔Trace.Decode)
+//  4. both stems empty and exactly one side receiver-less — the
+//     asymmetric convention where a method serializes itself and a
+//     package-level constructor-decoder rebuilds it (Trace.Encode↔Decode)
+func pairDecoder(enc codecFunc, decoders []codecFunc) (codecFunc, bool) {
+	for _, d := range decoders {
+		if enc.stem != "" && enc.stem == d.stem {
+			return d, true
+		}
+	}
+	for _, d := range decoders {
+		if (d.stem != "" && d.stem == enc.recv && enc.recv != "") ||
+			(enc.stem != "" && enc.stem == d.recv && d.recv != "") {
+			return d, true
+		}
+	}
+	for _, d := range decoders {
+		if enc.stem == "" && d.stem == "" && enc.recv != "" && enc.recv == d.recv {
+			return d, true
+		}
+	}
+	for _, d := range decoders {
+		if enc.stem == "" && d.stem == "" && (enc.recv == "") != (d.recv == "") {
+			return d, true
+		}
+	}
+	return codecFunc{}, false
+}
+
+// testRefs indexes which identifiers each test function of a package
+// references. The loader deliberately loads only non-test files (the
+// analyzers police production code), so the _test.go files are parsed
+// here, syntax-only — identifier references need no type information.
+type testRefs struct {
+	// refs maps a test function name to the set of identifiers its body
+	// mentions (as a bare Ident or a selector's Sel).
+	refs map[string]map[string]bool
+}
+
+func loadTestRefs(p *Pass) *testRefs {
+	tr := &testRefs{refs: make(map[string]map[string]bool)}
+	dir := p.dir()
+	if dir == "" {
+		return tr
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return tr
+	}
+	fset := token.NewFileSet() // test files are not part of the analyzed fset
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, ent.Name()), nil, 0)
+		if err != nil {
+			continue // a broken test file is go test's problem, not ours
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isTestFuncName(fd.Name.Name) {
+				continue
+			}
+			set := tr.refs[fd.Name.Name]
+			if set == nil {
+				set = make(map[string]bool)
+				tr.refs[fd.Name.Name] = set
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					set[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return tr
+}
+
+func isTestFuncName(name string) bool {
+	for _, p := range []string{"Test", "Fuzz", "Benchmark", "Example"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// sharedTest reports whether one test function references both names.
+func (tr *testRefs) sharedTest(enc, dec string) bool {
+	for _, set := range tr.refs {
+		if set[enc] && set[dec] {
+			return true
+		}
+	}
+	return false
+}
+
+// dir returns the analyzed package's directory (for _test.go scanning).
+func (p *Pass) dir() string {
+	if p.Mod != nil {
+		for _, pkg := range p.Mod.Loader.Packages() {
+			if pkg.ImportPath == p.ImportPath {
+				return pkg.Dir
+			}
+		}
+	}
+	if len(p.Files) > 0 {
+		return filepath.Dir(p.Fset.Position(p.Files[0].Pos()).Filename)
+	}
+	return ""
+}

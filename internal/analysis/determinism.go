@@ -9,27 +9,66 @@ import (
 // the deterministic packages must be bit-for-bit identical at any -p
 // (the property the byte-identical-tables regression test checks, and
 // the property the paper's strobe-vs-physical-clock comparison rests
-// on). Three mechanically detectable ways to break it are flagged:
+// on). The mechanically detectable ways to break it are flagged:
 //
-//   - time.Now: wall-clock reads leak real time into virtual-time code.
-//     The three legitimate uses (span epochs, the live engine's start
-//     anchor) carry //lint:allow determinism(...) annotations.
+//   - wall-clock reads: time.Now, and the derived readers time.Since,
+//     time.After and time.Tick, leak real time into virtual-time code.
+//     The legitimate uses (span epochs, the live engine's pacing)
+//     carry //lint:allow determinism(...) annotations.
 //   - global math/rand: the un-seeded process-wide source is shared,
 //     lock-ordered and unseedable per run; all randomness must flow
 //     through stats.RNG streams owned by the run.
+//   - environment reads: os.Getenv and os.ReadDir make a run depend on
+//     ambient machine state that no seed pins down.
 //   - range over a map: iteration order is randomized per run. A loop
 //     that only collects keys which are later passed to a sort call in
 //     the same function is exempt — that is the repo's sanctioned
 //     collect-then-sort idiom.
+//
+// This analyzer is package-local by design: the interprocedural
+// determtaint analyzer chases the same seeds across call-graph edges.
 var Determinism = &Analyzer{
 	Name: "determinism",
-	Doc:  "flag wall-clock reads, global math/rand and map-ordered iteration in the deterministic packages",
+	Doc:  "flag wall-clock reads, global math/rand, environment reads and map-ordered iteration in the deterministic packages",
 	Run:  runDeterminism,
 }
 
 // seededRandCtors are the math/rand package functions that construct an
 // explicitly seeded generator rather than touching the global source.
 var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+// wallClockFuncs are the time package functions that read (or schedule
+// against) the wall clock. time.AfterFunc is deliberately absent: its
+// hygiene is the goroutine analyzer's business, and the live engine is
+// wall-clock paced by design.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "After": true, "Tick": true}
+
+// envReadFuncs are the os package functions that read ambient machine
+// state.
+var envReadFuncs = map[string]bool{"Getenv": true, "ReadDir": true}
+
+// nondetCallDesc classifies call as a nondeterministic construct,
+// returning a short description ("time.Now", "global math/rand.Intn",
+// "os.Getenv") or "".
+func nondetCallDesc(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return ""
+	}
+	switch pkg := fn.Pkg().Path(); {
+	case pkg == "time" && wallClockFuncs[fn.Name()]:
+		return "time." + fn.Name()
+	case pkg == "os" && envReadFuncs[fn.Name()]:
+		return "os." + fn.Name()
+	case (pkg == "math/rand" || pkg == "math/rand/v2") && !seededRandCtors[fn.Name()]:
+		return "global math/rand." + fn.Name()
+	}
+	return ""
+}
 
 func runDeterminism(p *Pass) {
 	if !contains(p.Config.DeterministicPkgs, p.ImportPath) {
@@ -39,17 +78,14 @@ func runDeterminism(p *Pass) {
 		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				fn := calleeFunc(p.Info, n)
-				if fn == nil {
-					return true
-				}
-				if isPkgFunc(fn, "time", "Now") {
-					p.Reportf(n.Pos(), "time.Now in deterministic package %s: use the engine's virtual clock, or annotate a wall-clock-only use with //lint:allow determinism(reason)", p.Pkg.Name())
-				}
-				if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") {
-					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !seededRandCtors[fn.Name()] {
-						p.Reportf(n.Pos(), "global math/rand.%s in deterministic package %s: draw from a per-run stats.RNG stream instead", fn.Name(), p.Pkg.Name())
-					}
+				switch desc := nondetCallDesc(p.Info, n); {
+				case desc == "":
+				case desc[0] == 't': // time.*
+					p.Reportf(n.Pos(), "%s in deterministic package %s: use the engine's virtual clock, or annotate a wall-clock-only use with //lint:allow determinism(reason)", desc, p.Pkg.Name())
+				case desc[0] == 'o': // os.*
+					p.Reportf(n.Pos(), "%s in deterministic package %s: ambient machine state is not pinned by the run seed; thread configuration in explicitly, or annotate with //lint:allow determinism(reason)", desc, p.Pkg.Name())
+				default: // global math/rand
+					p.Reportf(n.Pos(), "%s in deterministic package %s: draw from a per-run stats.RNG stream instead", desc, p.Pkg.Name())
 				}
 			case *ast.RangeStmt:
 				t := p.TypeOf(n.X)
@@ -59,7 +95,7 @@ func runDeterminism(p *Pass) {
 				if _, isMap := t.Underlying().(*types.Map); !isMap {
 					return true
 				}
-				if collectThenSorted(p, n, stack) {
+				if collectThenSorted(p.Info, n, stack) {
 					return true
 				}
 				p.Reportf(n.Pos(), "range over map has nondeterministic iteration order: collect and sort the keys (or justify with //lint:allow determinism(reason))")
@@ -73,7 +109,7 @@ func runDeterminism(p *Pass) {
 // collect-then-sort idiom: every statement in the body appends into the
 // same collector, and the enclosing function later passes that
 // collector to a sort call.
-func collectThenSorted(p *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
+func collectThenSorted(info *types.Info, rs *ast.RangeStmt, stack []ast.Node) bool {
 	if len(rs.Body.List) == 0 {
 		return false
 	}
@@ -84,10 +120,10 @@ func collectThenSorted(p *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
 			return false
 		}
 		call, ok := as.Rhs[0].(*ast.CallExpr)
-		if !ok || !isBuiltinAppend(p, call) {
+		if !ok || !isBuiltinAppend(info, call) {
 			return false
 		}
-		obj := lvalueObject(p, as.Lhs[0])
+		obj := lvalueObject(info, as.Lhs[0])
 		if obj == nil {
 			return false
 		}
@@ -126,7 +162,7 @@ func collectThenSorted(p *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
 		if !ok || call.Pos() <= rs.End() {
 			return true
 		}
-		fn := calleeFunc(p.Info, call)
+		fn := calleeFunc(info, call)
 		if fn == nil || fn.Pkg() == nil {
 			return true
 		}
@@ -136,11 +172,11 @@ func collectThenSorted(p *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
 		for _, arg := range call.Args {
 			found := false
 			ast.Inspect(arg, func(a ast.Node) bool {
-				if id, ok := a.(*ast.Ident); ok && p.Info.Uses[id] == target {
+				if id, ok := a.(*ast.Ident); ok && info.Uses[id] == target {
 					found = true
 				}
 				if sel, ok := a.(*ast.SelectorExpr); ok {
-					if s := p.Info.Selections[sel]; s != nil && s.Obj() == target {
+					if s := info.Selections[sel]; s != nil && s.Obj() == target {
 						found = true
 					}
 				}
@@ -156,26 +192,26 @@ func collectThenSorted(p *Pass, rs *ast.RangeStmt, stack []ast.Node) bool {
 	return sorted
 }
 
-func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
 	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok {
 		return false
 	}
-	bi, ok := p.Info.Uses[id].(*types.Builtin)
+	bi, ok := info.Uses[id].(*types.Builtin)
 	return ok && bi.Name() == "append"
 }
 
 // lvalueObject resolves the assigned-to expression to its canonical
 // object: the variable for an identifier, the field for a selector.
-func lvalueObject(p *Pass, e ast.Expr) types.Object {
+func lvalueObject(info *types.Info, e ast.Expr) types.Object {
 	switch e := ast.Unparen(e).(type) {
 	case *ast.Ident:
-		if obj := p.Info.Uses[e]; obj != nil {
+		if obj := info.Uses[e]; obj != nil {
 			return obj
 		}
-		return p.Info.Defs[e]
+		return info.Defs[e]
 	case *ast.SelectorExpr:
-		if s := p.Info.Selections[e]; s != nil {
+		if s := info.Selections[e]; s != nil {
 			return s.Obj()
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // FastPath guards the zero-cost-when-disabled contract of the obs and
@@ -161,9 +162,83 @@ func pureDelegation(p *Pass, body *ast.BlockStmt, recv types.Object) bool {
 
 // ---- check 2: registry lookups in hot loops ----
 
+// registryLookupName classifies call as a Registry.Counter/Gauge/
+// Histogram lookup, returning the method name or "".
+func registryLookupName(info *types.Info, call *ast.CallExpr, obsPkg string) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPkg {
+		return ""
+	}
+	if fn.Name() != "Counter" && fn.Name() != "Gauge" && fn.Name() != "Histogram" {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !typeInPtr(sig.Recv().Type(), obsPkg, "Registry") {
+		return ""
+	}
+	return fn.Name()
+}
+
+// registryLookupFuncs computes (memoized) the module functions whose
+// bodies perform a registry lookup — the helpers that make an innocent-
+// looking call in a loop a per-iteration string-keyed map access one
+// frame down. Setup-shaped functions (New*/Set*/Init*, and everything
+// in the obs package itself) are exempt: resolving instruments inside a
+// constructor's loop is exactly the once-and-hold pattern the check
+// wants.
+func (m *Module) registryLookupFuncs() map[*types.Func]string {
+	if m.regLookups != nil {
+		return m.regLookups
+	}
+	out := make(map[*types.Func]string)
+	m.regLookups = out
+	obsPkg := m.Config.ObsPkg
+	if obsPkg == "" {
+		return out
+	}
+	g := m.Graph
+	for fn, fd := range g.DeclOf {
+		if fn.Pkg() != nil && fn.Pkg().Path() == obsPkg {
+			continue
+		}
+		if isSetupName(fn.Name()) {
+			continue
+		}
+		pkg := g.PkgOf[fn]
+		if pkg == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if out[fn] != "" {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name := registryLookupName(pkg.Info, call, obsPkg); name != "" {
+					out[fn] = name
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isSetupName(name string) bool {
+	for _, prefix := range []string{"New", "new", "Set", "Init", "init"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
 func checkHotLookups(p *Pass) {
 	if p.Config.ObsPkg == "" || p.ImportPath == p.Config.ObsPkg {
 		return
+	}
+	var helperLookups map[*types.Func]string
+	if p.Mod != nil && p.Mod.Graph != nil {
+		helperLookups = p.Mod.registryLookupFuncs()
 	}
 	for _, f := range p.Files {
 		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
@@ -171,26 +246,34 @@ func checkHotLookups(p *Pass) {
 			if !ok {
 				return true
 			}
-			fn := calleeFunc(p.Info, call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != p.Config.ObsPkg {
-				return true
-			}
-			if fn.Name() != "Counter" && fn.Name() != "Gauge" && fn.Name() != "Histogram" {
-				return true
-			}
-			sig, ok := fn.Type().(*types.Signature)
-			if !ok || sig.Recv() == nil || !typeInPtr(sig.Recv().Type(), p.Config.ObsPkg, "Registry") {
-				return true
+			direct := registryLookupName(p.Info, call, p.Config.ObsPkg)
+			var viaHelper *types.Func
+			helperMethod := ""
+			if direct == "" {
+				fn := calleeFunc(p.Info, call)
+				if fn == nil {
+					return true
+				}
+				fn = canonFunc(fn)
+				if m := helperLookups[fn]; m != "" {
+					viaHelper, helperMethod = fn, m
+				} else {
+					return true
+				}
 			}
 			// Walk ancestors to the nearest function boundary; a for or
 			// range statement in between makes this a per-iteration
-			// string-keyed map lookup.
+			// string-keyed map lookup (possibly one call frame down).
 			for i := len(stack) - 1; i >= 0; i-- {
 				switch stack[i].(type) {
 				case *ast.FuncLit, *ast.FuncDecl:
 					return true
 				case *ast.ForStmt, *ast.RangeStmt:
-					p.Reportf(call.Pos(), "registry lookup Registry.%s inside a loop: resolve the instrument once before the loop and hold the pointer (string-keyed lookup under a lock is not hot-path safe)", fn.Name())
+					if direct != "" {
+						p.Reportf(call.Pos(), "registry lookup Registry.%s inside a loop: resolve the instrument once before the loop and hold the pointer (string-keyed lookup under a lock is not hot-path safe)", direct)
+					} else {
+						p.Reportf(call.Pos(), "call to %s inside a loop performs a registry lookup (Registry.%s) one frame down: resolve the instrument once before the loop and hold the pointer", FuncDisplay(viaHelper), helperMethod)
+					}
 					return true
 				}
 			}

@@ -21,7 +21,7 @@ import (
 // way DefaultConfig scopes them to the repo.
 func fixtureConfig() Config {
 	return Config{
-		DeterministicPkgs: []string{"fix/determ"},
+		DeterministicPkgs: []string{"fix/determ", "fix/dtaint", "fix/allowscope"},
 		ClockPkg:          "fix/clockpkg",
 		ClockRuleFuncs:    []string{"Strobe", "OnStrobe", "Tick", "Reset"},
 		ObsPkg:            "fix/fastobs",
@@ -30,6 +30,10 @@ func fixtureConfig() Config {
 			"fix/flightrec": {"Recorder"},
 		},
 		HotPkgs: []string{"fix/fastuser"},
+		// fix/hotkern.Missing is deliberately stale: the hotpath
+		// analyzer must report a config entry that resolves to nothing.
+		HotFuncs:  []string{"fix/hotkern.Kernel.Step", "fix/hotkern.Missing"},
+		CodecPkgs: []string{"fix/codec"},
 	}
 }
 
@@ -44,11 +48,16 @@ func TestAnalyzersGolden(t *testing.T) {
 		pkgs []string
 	}{
 		{"determinism", []string{"fix/determ"}},
+		{"determtaint", []string{"fix/dtaint", "fix/dthelp"}},
+		{"allowscope", []string{"fix/allowscope"}},
 		{"clockrule", []string{"fix/clockpkg", "fix/clockuser"}},
 		{"fastpath", []string{"fix/fastobs", "fix/fastuser"}},
 		{"fastpath-flight", []string{"fix/flightrec"}},
+		{"hotpath", []string{"fix/hotkern"}},
+		{"codecpair", []string{"fix/codec"}},
 		{"goroutine", []string{"fix/goro"}},
 		{"atomics", []string{"fix/atom"}},
+		{"atomics-module", []string{"fix/atomuser"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -126,6 +135,48 @@ func checkGolden(t *testing.T, dir string, diags []Diagnostic) {
 				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
 			}
 		}
+	}
+}
+
+// TestExplainTaint drives the -why machinery over the determtaint
+// fixture: the two-hop finding in dtaint.go must explain as a rendered
+// path ending at the wall-clock seed in the helper package.
+func TestExplainTaint(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "fix")
+	res, err := Run(loader, fixtureConfig(), All(), []string{"fix/dtaint", "fix/dthelp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the Observed call (the two-hop path) by its diagnostic.
+	var file string
+	var line int
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Message, "call to dthelp.Observed") {
+			file, line = d.File, d.Line
+		}
+	}
+	if file == "" {
+		t.Fatal("fixture lost the dthelp.Observed finding")
+	}
+	path := res.ExplainTaint(filepath.Base(file), line)
+	if len(path) != 3 {
+		t.Fatalf("ExplainTaint returned %d hops, want 3:\n%s", len(path), strings.Join(path, "\n"))
+	}
+	for i, want := range []string{
+		"dtaint.Observe calls dthelp.Observed",
+		"dthelp.Observed calls dthelp.Elapsed",
+		"dthelp.Elapsed contains time.Since (seed)",
+	} {
+		if !strings.Contains(path[i], want) {
+			t.Errorf("hop %d = %q, want it to contain %q", i, path[i], want)
+		}
+	}
+	if res.ExplainTaint("nosuch.go", 1) != nil {
+		t.Error("ExplainTaint invented a path for a position with no finding")
 	}
 }
 

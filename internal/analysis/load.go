@@ -150,6 +150,19 @@ func (l *Loader) Load(path string) (*Package, error) {
 	return p, nil
 }
 
+// Packages returns every module-local package the loader has loaded so
+// far (requested packages and their module-local dependency closure),
+// sorted by import path. This is the node set the call graph is built
+// over.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out
+}
+
 // Discover walks the module tree and returns the import paths of every
 // buildable package, sorted. testdata, hidden and vendor directories are
 // skipped, matching the go tool's convention.

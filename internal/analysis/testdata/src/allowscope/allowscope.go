@@ -1,0 +1,37 @@
+// Package allowscope exercises the allow grammar's declaration scope:
+// an allow anchored to a declaration's first line (trailing, or the
+// full line immediately above) covers the whole declaration body, and
+// an allow whose coverage is fully subsumed by earlier allows for the
+// same analyzer is reported as a dead duplicate.
+package allowscope
+
+import "time"
+
+// CoveredAbove: the full-line allow above the declaration suppresses
+// every finding in the body, not just the signature line.
+//
+//lint:allow determinism(fixture: whole-function wall-clock waiver, line above)
+func CoveredAbove() int64 {
+	a := time.Now().Unix()
+	b := time.Now().Unix()
+	return a + b
+}
+
+// CoveredTrailing: same scope, anchored as a trailing comment.
+func CoveredTrailing() int64 { //lint:allow determinism(fixture: whole-function waiver, trailing)
+	return time.Now().Unix()
+}
+
+// Uncovered has no annotation; the decl scope of the neighbors must
+// not leak onto it.
+func Uncovered() int64 {
+	return time.Now().Unix() // want `time.Now in deterministic package allowscope`
+}
+
+// Duplicate: the decl-scoped allow on the declaration line already
+// covers the body, so the inner allow can never suppress anything.
+func Duplicate() int64 { //lint:allow determinism(fixture: decl-scoped waiver)
+	// want+1 `duplicate //lint:allow determinism`
+	//lint:allow determinism(fixture: dead, the decl allow above covers this line)
+	return time.Now().Unix()
+}

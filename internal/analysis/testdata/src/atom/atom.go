@@ -45,3 +45,15 @@ func (s *Stats) Local() int64 {
 	s.m++
 	return s.m
 }
+
+// Shared is counter state bumped atomically here and visible to other
+// packages: the module-wide inventory must catch a plain read of Hits
+// from a sibling package (see fix/atomuser).
+type Shared struct {
+	Hits int64
+}
+
+// Bump is the atomic write path for Shared.Hits.
+func (s *Shared) Bump() {
+	atomic.AddInt64(&s.Hits, 1)
+}

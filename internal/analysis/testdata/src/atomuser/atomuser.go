@@ -1,0 +1,17 @@
+// Package atomuser reads fix/atom's atomic state from across the
+// package boundary: the race is identical to the in-package one, and
+// the module-wide inventory (built over every loaded package) is what
+// lets the analyzer see it — PR 5's per-package collection could not.
+package atomuser
+
+import "fix/atom"
+
+// Snapshot races Bump with a plain read.
+func Snapshot(s *atom.Shared) int64 {
+	return s.Hits // want `plain read of field Hits, which is accessed via atomic.AddInt64 elsewhere in the module`
+}
+
+// Wait uses no atomic field; nothing is flagged.
+func Wait(s *atom.Shared) *atom.Shared {
+	return s
+}

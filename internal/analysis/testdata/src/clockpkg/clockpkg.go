@@ -56,3 +56,26 @@ func (c *SVC) Smudge() {
 func Config(s *Stamp) {
 	s.At = 7
 }
+
+// bumpOwn is an unexported helper reached only from Strobe: the
+// call-graph fixpoint sanctions it, so its state write is a rule
+// application by delegation, not a violation.
+func (c *SVC) bumpOwn() {
+	c.v[c.me]++
+}
+
+// Tick applies the rule through the sanctioned helper.
+func (c *SVC) Tick() {
+	c.bumpOwn()
+}
+
+// stray is an unexported helper, but Leak below is not a sanctioned
+// writer, so the fixpoint never admits it: the write stays flagged.
+func (c *SVC) stray() {
+	c.me = 0 // want `clock state field SVC.me written outside the rule methods`
+}
+
+// Leak is an ordinary exported method calling the stray helper.
+func (c *SVC) Leak() {
+	c.stray()
+}

@@ -1,0 +1,80 @@
+// Package codec is the codecpair golden fixture: exported encoders
+// must have decoder counterparts, and each pair must share a
+// round-trip test in this directory's _test.go files (which the
+// analyzer parses syntax-only; the loader itself never loads test
+// files).
+package codec
+
+// EncodeEvents has a stem-matched decoder and a shared round-trip
+// test: clean.
+func EncodeEvents(evs []int) []byte {
+	out := make([]byte, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, byte(e))
+	}
+	return out
+}
+
+// DecodeEvents is EncodeEvents' counterpart.
+func DecodeEvents(b []byte) []int {
+	out := make([]int, 0, len(b))
+	for _, x := range b {
+		out = append(out, int(x))
+	}
+	return out
+}
+
+// AppendHeader writes a record nothing can read back.
+func AppendHeader(b []byte) []byte { // want `exported encoder AppendHeader has no Decode./Read. counterpart`
+	return append(b, 0xFE)
+}
+
+// WriteIndex has a decoder, but the two are only ever tested apart —
+// each direction against its own fixed bytes, so a format change can
+// land half-way.
+func WriteIndex(idx []uint32) []byte { // want `codec pair WriteIndex/ReadIndex has no round-trip test`
+	out := make([]byte, 0, 4*len(idx))
+	for _, x := range idx {
+		out = append(out, byte(x))
+	}
+	return out
+}
+
+// ReadIndex is WriteIndex's counterpart.
+func ReadIndex(b []byte) []uint32 {
+	out := make([]uint32, 0, len(b))
+	for _, x := range b {
+		out = append(out, uint32(x))
+	}
+	return out
+}
+
+// Batch pairs through the receiver rule: AppendWire's counterpart is
+// DecodeBatch (decoder stem == encoder receiver).
+type Batch struct {
+	N int
+}
+
+// AppendWire encodes the batch.
+func (b *Batch) AppendWire(dst []byte) []byte {
+	return append(dst, byte(b.N))
+}
+
+// DecodeBatch decodes what AppendWire wrote.
+func DecodeBatch(src []byte) *Batch {
+	if len(src) == 0 {
+		return nil
+	}
+	return &Batch{N: int(src[0])}
+}
+
+// EncodeLegacy is a write-only debug dump, waived in place.
+func EncodeLegacy(b []byte) []byte { //lint:allow codecpair(fixture: write-only debug dump, nothing decodes it)
+	return append(b, 0xFF)
+}
+
+// Writer is not an encoder: "r" does not start a new word after the
+// Write prefix, so the name never enters the pairing at all.
+func Writer() string {
+	return "not a codec"
+}

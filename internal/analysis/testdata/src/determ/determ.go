@@ -4,6 +4,7 @@ package determ
 
 import (
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 )
@@ -11,6 +12,31 @@ import (
 // Wall leaks real time into a deterministic package.
 func Wall() int64 {
 	return time.Now().Unix() // want `time.Now in deterministic package determ`
+}
+
+// Elapsed derives from the wall clock without naming time.Now.
+func Elapsed(start time.Time) int64 {
+	return time.Since(start).Microseconds() // want `time.Since in deterministic package determ`
+}
+
+// Timeout schedules against real time.
+func Timeout() <-chan time.Time {
+	return time.After(time.Second) // want `time.After in deterministic package determ`
+}
+
+// Metronome paces by real time.
+func Metronome() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick in deterministic package determ`
+}
+
+// Env makes the run depend on ambient machine state.
+func Env() string {
+	return os.Getenv("SEED") // want `os.Getenv in deterministic package determ`
+}
+
+// Listing depends on the machine's filesystem.
+func Listing() ([]os.DirEntry, error) {
+	return os.ReadDir(".") // want `os.ReadDir in deterministic package determ`
 }
 
 // WallAllowed is the annotated legitimate use: suppressed, no finding.

@@ -43,3 +43,32 @@ func UseDirect(c *fastobs.Counter) *fastobs.Counter {
 	c.Inc()
 	return c
 }
+
+// bump hides a per-call registry lookup one frame down.
+func bump(r *fastobs.Registry) {
+	r.Counter("ticks").Inc()
+}
+
+// HotLoopHelper has PR 5's blind spot: the loop body looks clean, but
+// every iteration pays the string-keyed lookup inside bump.
+func HotLoopHelper(r *fastobs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		bump(r) // want `call to fastuser.bump inside a loop performs a registry lookup .Registry.Counter. one frame down`
+	}
+}
+
+// newCounter performs a lookup but is setup-shaped (New prefix):
+// resolving instruments inside a constructor's loop is exactly the
+// once-and-hold pattern, so callers are not flagged.
+func newCounter(r *fastobs.Registry, name string) *fastobs.Counter {
+	return r.Counter(name)
+}
+
+// BuildAll resolves a batch of counters up front: not flagged.
+func BuildAll(r *fastobs.Registry, names []string) []*fastobs.Counter {
+	out := make([]*fastobs.Counter, 0, len(names))
+	for _, n := range names {
+		out = append(out, newCounter(r, n))
+	}
+	return out
+}

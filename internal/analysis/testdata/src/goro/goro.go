@@ -109,3 +109,45 @@ type waitGroup struct{ n int }
 func (w *waitGroup) Add(d int) { w.n += d }
 func (w *waitGroup) Done()     { w.n-- }
 func (w *waitGroup) Wait()     {}
+
+// pump has a bare send: fine when called synchronously, lethal on its
+// own goroutine. The call graph ties the spawn sites below to it.
+func pump(ch chan int) {
+	ch <- 9
+}
+
+// SpawnNamed runs pump asynchronously: flagged at the spawn site,
+// where the allow would belong.
+func SpawnNamed(ch chan int) {
+	go pump(ch) // want `go statement runs goro.pump, which has a blocking channel send`
+}
+
+// CallNamed calls the same function synchronously: not flagged.
+func CallNamed(ch chan int) {
+	pump(ch)
+}
+
+// beeper exercises the method-value shape through time.AfterFunc.
+type beeper struct{ ch chan int }
+
+func (b *beeper) fire() {
+	b.ch <- 1
+}
+
+func (b *beeper) fireGuarded() {
+	select {
+	case b.ch <- 1:
+	default:
+	}
+}
+
+// Arm passes a method value whose body blocks: flagged at the arming
+// site.
+func (b *beeper) Arm(d time.Duration) {
+	time.AfterFunc(d, b.fire) // want `time.AfterFunc callback runs goro...beeper..fire, which has a blocking channel send`
+}
+
+// ArmGuarded passes the guarded variant: not flagged.
+func (b *beeper) ArmGuarded(d time.Duration) {
+	time.AfterFunc(d, b.fireGuarded)
+}

@@ -101,7 +101,7 @@ func NewPlan(pred predicate.Cond, n int, regionOf func(int) int) *Plan {
 				}
 			}
 		} else {
-			for k := range cl.keys {
+			for k := range cl.keys { //lint:allow determtaint(order-insensitive: fans the clause out into a map indexed by the ranged key itself, so iteration order cannot reach any output)
 				p.opaqueByKey[k] = append(p.opaqueByKey[k], cl)
 			}
 		}
@@ -167,7 +167,7 @@ func linearize(e predicate.Expr, neg bool, s *linSide) bool {
 // reads, or -1 when it reads none, spans regions, or aggregates.
 func homeRegion(cl *clause, regionOf func(int) int) int {
 	home := -1
-	for k := range cl.keys {
+	for k := range cl.keys { //lint:allow determtaint(order-insensitive: the answer is the unique common region or -1, identical whichever key is visited first)
 		if k.Proc < 0 {
 			return -1
 		}

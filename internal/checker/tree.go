@@ -529,9 +529,7 @@ func (t *Tree) flushAgg(a *Aggregator, now sim.Time) {
 	t.Stat.BatchTriples += int64(len(b.Triples))
 	t.Stat.BatchEntries += int64(len(b.Entries))
 	t.obsBatches.Inc()
-	for p := range a.pending {
-		delete(a.pending, p)
-	}
+	clear(a.pending)
 }
 
 // rootApply advances the root watermarks from one decoded batch. Batches
@@ -561,9 +559,7 @@ func (t *Tree) CrashRegion(r int) {
 	}
 	a.down = true
 	t.Stat.RegionDropped += int64(len(a.pending))
-	for p := range a.pending {
-		delete(a.pending, p)
-	}
+	clear(a.pending)
 }
 
 // RecoverRegion brings aggregator r back with wholly fresh regional

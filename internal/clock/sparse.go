@@ -124,7 +124,7 @@ func (s *SparseStrobeVector) OnStrobe(st SparseStamp) {
 		if e.Val == 0 {
 			continue
 		}
-		s.comps = append(s.comps, sparseComp{})
+		s.comps = append(s.comps, sparseComp{}) //lint:allow hotpath(amortized growth: the component list grows once per newly-seen proc and then stabilizes at the contact-set size)
 		copy(s.comps[i+1:], s.comps[i:len(s.comps)-1])
 		s.comps[i] = sparseComp{proc: int32(e.Proc), val: e.Val}
 	}

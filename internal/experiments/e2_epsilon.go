@@ -44,7 +44,7 @@ func E2TwoEpsilon(cfg RunConfig) *Table {
 	for ri, ratioV := range ratios {
 		overlap := sim.Duration(ratioV * float64(eps))
 		type outcome struct{ fn, fp bool }
-		outcomes := runner.Map(cfg.Parallelism, trials, func(trial int) outcome {
+		outcomes := runner.Map(cfg.Parallelism, trials, func(trial int) outcome { //lint:allow fastpath(amortized: Map resolves its workers gauge once per fan-out of `trials` jobs, not per job)
 			fleet := fleets[ri*trials+trial]
 			eng := sim.NewEngine(uint64(trial))
 			checker := core.NewPhysicalChecker(eng, 2, pred, 50*sim.Millisecond)

@@ -82,7 +82,7 @@ func SetObs(r *obs.Registry) { obsReg.Store(r) }
 // epoch anchors the engine's wall-clock span timestamps.
 var epoch = time.Now() //lint:allow determinism(span-epoch anchor: wall-clock timings feed obs spans only, never survey results)
 
-func wallNow() sim.Time { return sim.Time(time.Since(epoch).Microseconds()) }
+func wallNow() sim.Time { return sim.Time(time.Since(epoch).Microseconds()) } //lint:allow determinism(span-epoch arithmetic: timestamps feed obs spans only, never survey results)
 
 // forceStringKeys disables the packed-uint64 fast path; tests set it to
 // run the differential suite against the fallback representation too.

@@ -384,7 +384,7 @@ func (nw *Network) SignalDump(reason string) {
 
 // Now returns the network's virtual time (µs since Start).
 func (nw *Network) Now() sim.Time {
-	return sim.Time(time.Since(nw.start).Microseconds())
+	return sim.Time(time.Since(nw.start).Microseconds()) //lint:allow determinism(live mode runs on the physical clock by design; the DES engine owns the virtual one)
 }
 
 // Node returns node i.

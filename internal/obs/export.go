@@ -131,21 +131,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.Value(), Max: g.Max()})
 	}
 	for name, h := range r.hists {
-		hs := HistSnap{
-			Name:   name,
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]uint64, len(h.counts)),
-			Count:  h.count.Load(),
-			Sum:    h.Sum(),
-		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
-		}
-		if hs.Count > 0 {
-			hs.Min = math.Float64frombits(h.min.Load())
-			hs.Max = math.Float64frombits(h.max.Load())
-		}
-		s.Histograms = append(s.Histograms, hs)
+		s.Histograms = append(s.Histograms, histSnap(name, h))
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
@@ -157,6 +143,25 @@ func (r *Registry) Snapshot() Snapshot {
 	s.Spans = append(s.Spans, r.spanLog[:r.spanNext]...)
 	r.spanMu.Unlock()
 	return s
+}
+
+// histSnap materializes one histogram's export record.
+func histSnap(name string, h *Histogram) HistSnap {
+	hs := HistSnap{
+		Name:   name,
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	if hs.Count > 0 {
+		hs.Min = math.Float64frombits(h.min.Load())
+		hs.Max = math.Float64frombits(h.max.Load())
+	}
+	return hs
 }
 
 // WriteJSON writes the snapshot as indented JSON.

@@ -47,7 +47,7 @@ func SetObs(r *obs.Registry) { obsReg.Store(r) }
 // epoch anchors the runner's wall-clock span timestamps.
 var epoch = time.Now() //lint:allow determinism(span-epoch anchor: wall-clock timings feed obs spans only, never job results or tables)
 
-func wallNow() sim.Time { return sim.Time(time.Since(epoch).Microseconds()) }
+func wallNow() sim.Time { return sim.Time(time.Since(epoch).Microseconds()) } //lint:allow determinism(span-epoch arithmetic: timestamps feed obs spans only, never job results)
 
 // Map runs fn(0..n-1) across at most Workers(parallelism) goroutines and
 // returns the results indexed by job. With parallelism ≤ 1 (or n ≤ 1) it

@@ -159,7 +159,7 @@ type decoder struct {
 func (d *decoder) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(d.b[d.off:])
 	if n <= 0 {
-		return 0, fmt.Errorf("workload: truncated trace at offset %d", d.off)
+		return 0, fmt.Errorf("workload: truncated trace at offset %d", d.off) //lint:allow hotpath(cold error path: a truncated trace aborts the replay; the happy path never formats)
 	}
 	d.off += n
 	return v, nil

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -56,6 +57,28 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 	if Digest(dec.Events) != Digest(tr.Events) {
 		t.Fatal("digest changed across round-trip")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Horizon: 10 * sim.Second,
+		Meta:    map[string]string{"scenario": "hall"},
+		Events:  sampleEvents(),
+	}
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	dec, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if Digest(dec.Events) != Digest(tr.Events) {
+		t.Fatal("digest changed across file round-trip")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("ReadFile of a missing path succeeded")
 	}
 }
 

@@ -12,6 +12,7 @@ package world
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 
 	"pervasive/internal/sim"
@@ -78,9 +79,9 @@ func New(eng *sim.Engine) *World {
 // AddObject creates an object with the given initial attributes and
 // returns its ID.
 func (w *World) AddObject(name string, attrs map[string]float64) int {
-	o := &Object{ID: len(w.objects), Name: name, attrs: map[string]float64{}}
-	for k, v := range attrs {
-		o.attrs[k] = v
+	o := &Object{ID: len(w.objects), Name: name, attrs: maps.Clone(attrs)}
+	if o.attrs == nil {
+		o.attrs = map[string]float64{}
 	}
 	w.objects = append(w.objects, o)
 	return o.ID
